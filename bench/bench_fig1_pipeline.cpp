@@ -1,0 +1,129 @@
+// Figure 1 reproduction: the end-to-end MTL-Split pipeline.
+//
+//   x -> [edge] shared backbone M_b -> Z_b -> serialise -> network ->
+//   deserialise -> [server] task heads H_1..H_N -> y_1..y_N
+//
+// This bench executes the pipeline through the real wire format and
+// reports (a) bit-exactness of the split execution vs the monolithic
+// model, (b) the modelled latency breakdown per deployment paradigm, and
+// (c) how the SC advantage moves as the channel degrades.
+#include <cstdio>
+
+#include "data/shapes3d.hpp"
+#include "mtl/model_factory.hpp"
+#include "mtl/trainer.hpp"
+#include "sc/deployment.hpp"
+
+using namespace mtlsplit;
+
+int main() {
+  // A small trained model so the pipeline carries real task signal.
+  data::Shapes3dConfig dc;
+  dc.count = 600;
+  dc.image_size = 16;
+  const auto ds = data::make_shapes3d_t1t2(dc);
+
+  Rng rng(21);
+  core::ModelFactoryConfig mc;
+  mc.backbone = models::BackboneKind::kMobileNetV3;
+  mc.image_shape = {3, 16, 16};
+  auto model = core::make_mtl_model(mc, {ds.task(0), ds.task(1)}, rng);
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.lr = 2e-3f;
+  core::train_model(*model, ds, tc);
+  model->set_training(false);
+
+  const data::Batch batch =
+      data::gather_batch(ds, std::vector<int64_t>{0, 1, 2, 3});
+  const auto mono = model->forward(batch.images);
+
+  std::printf("Figure 1 pipeline: edge backbone -> Z_b -> network -> heads\n");
+  std::printf("Backbone: MobileNetV3 (edge scale), tasks: %s (%lld), %s (%lld)\n",
+              model->task(0).name.c_str(),
+              static_cast<long long>(model->task(0).num_classes),
+              model->task(1).name.c_str(),
+              static_cast<long long>(model->task(1).num_classes));
+  std::printf("|Z_b| = %lld floats per image\n\n",
+              static_cast<long long>(model->zb_dim({3, 16, 16})));
+
+  // --- Paradigm comparison on the paper's gigabit channel.
+  sc::Channel ch({.bandwidth_bps = 1e9, .base_latency_s = 0.01});
+  const auto edge = sc::jetson_nano();
+  const auto server = sc::rtx3090_server();
+  sc::ScDeployment sc_f32(*model, ch, edge, server);
+  sc::ScDeployment sc_i8(*model, ch, edge, server,
+                         {.encoding = sc::ZbEncoding::kInt8});
+  sc::RocDeployment roc(*model, ch, server);
+  sc::LocDeployment loc(*model, edge);
+
+  struct Row {
+    const char* name;
+    sc::InferenceResult r;
+    bool bit_exact;
+  };
+  auto exact = [&](const std::vector<Tensor>& logits) {
+    for (size_t j = 0; j < logits.size(); ++j)
+      if (!logits[j].equals(mono[j])) return false;
+    return true;
+  };
+  std::vector<Row> rows;
+  {
+    auto r = loc.infer(batch.images);
+    rows.push_back({"LoC (edge only)", r, exact(r.logits)});
+  }
+  {
+    auto r = roc.infer(batch.images);
+    rows.push_back({"RoC (raw input)", r, exact(r.logits)});
+  }
+  {
+    auto r = sc_f32.infer(batch.images);
+    rows.push_back({"SC fp32 Z_b", r, exact(r.logits)});
+  }
+  {
+    auto r = sc_i8.infer(batch.images);
+    rows.push_back({"SC int8 Z_b", r, exact(r.logits)});
+  }
+
+  std::printf("%-16s | %10s | %10s | %10s | %10s | %9s | %s\n", "paradigm",
+              "edge ms", "wire ms", "server ms", "total ms", "wire KB",
+              "bit-exact");
+  for (int i = 0; i < 95; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const Row& row : rows) {
+    const auto& l = row.r.latency;
+    std::printf("%-16s | %10.3f | %10.3f | %10.3f | %10.3f | %9.1f | %s\n",
+                row.name, 1e3 * l.edge_compute_s, 1e3 * l.transfer_s,
+                1e3 * l.server_compute_s, 1e3 * l.total_s(),
+                static_cast<double>(l.wire_bytes) / 1024.0,
+                row.bit_exact ? "yes" : "no (int8, lossy by design)");
+  }
+  for (int i = 0; i < 95; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  // --- Channel-degradation sweep (the §1 motivation).
+  std::printf(
+      "\nDegraded channel sweep (4-image batch, per-inference totals, ms):\n");
+  std::printf("%-12s | %10s | %10s | %10s\n", "degradation", "RoC", "SC fp32",
+              "SC int8");
+  for (int i = 0; i < 50; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (double deg : {0.0, 0.5, 0.9, 0.99}) {
+    sc::Channel dch({.bandwidth_bps = 1e9, .base_latency_s = 0.01,
+                     .degradation = deg});
+    sc::RocDeployment droc(*model, dch, server);
+    sc::ScDeployment dsc(*model, dch, edge, server);
+    sc::ScDeployment dsc8(*model, dch, edge, server,
+                          {.encoding = sc::ZbEncoding::kInt8});
+    std::printf("%-12.2f | %10.3f | %10.3f | %10.3f\n", deg,
+                1e3 * droc.infer(batch.images).latency.total_s(),
+                1e3 * dsc.infer(batch.images).latency.total_s(),
+                1e3 * dsc8.infer(batch.images).latency.total_s());
+  }
+  std::printf(
+      "\nShape check: SC's wire payload shrinks vs RoC's raw input, the\n"
+      "fp32 split is bit-exact, and the SC advantage widens as the channel\n"
+      "degrades.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// M1: google-benchmark microbenchmarks of the substrate kernels — the ops
+// the edge device actually executes per inference.
+#include <benchmark/benchmark.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "sc/quantize.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace mtlsplit;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_uniform(a, -1.0f, 1.0f);
+  rng.fill_uniform(b, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTn(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_uniform(a, -1.0f, 1.0f);
+  rng.fill_uniform(b, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::matmul_tn(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTn)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto c = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(c, c, 3, 1, 1, rng);
+  Tensor x({1, c, 16, 16});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations() * conv.flops({1, c, 16, 16}));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto c = state.range(0);
+  Rng rng(4);
+  nn::Conv2d conv(c, c, 3, 1, 1, rng);
+  Tensor x({1, c, 16, 16});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  const Tensor y = conv.forward(x);
+  Tensor g(y.shape());
+  rng.fill_uniform(g, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(g));
+    conv.zero_grad();
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_DepthwiseForward(benchmark::State& state) {
+  const auto c = state.range(0);
+  Rng rng(5);
+  nn::DepthwiseConv2d dw(c, 3, 1, 1, rng);
+  Tensor x({1, c, 16, 16});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(dw.forward(x));
+}
+BENCHMARK(BM_DepthwiseForward)->Arg(16)->Arg(64);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::BatchNorm2d bn(32);
+  Tensor x({8, 32, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(bn.forward(x));
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(7);
+  Tensor img({16, 32, 32});
+  rng.fill_uniform(img, -1.0f, 1.0f);
+  const ConvGeom g{.in_c = 16, .in_h = 32, .in_w = 32, .kernel_h = 3,
+                   .kernel_w = 3, .stride = 1, .pad = 1};
+  Tensor cols;
+  for (auto _ : state) {
+    im2col(img.data(), g, cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_SerializeZb(benchmark::State& state) {
+  // A realistic Z_b: MobileNetV3-Small's 28k floats.
+  Rng rng(8);
+  Tensor zb({1, 28224});
+  rng.fill_normal(zb, 0.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(serialize_tensor(zb));
+  state.SetBytesProcessed(state.iterations() * zb.numel() * 4);
+}
+BENCHMARK(BM_SerializeZb);
+
+void BM_QuantizeZb(benchmark::State& state) {
+  Rng rng(9);
+  Tensor zb({1, 28224});
+  rng.fill_normal(zb, 0.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(sc::quantize_int8(zb));
+  state.SetBytesProcessed(state.iterations() * zb.numel() * 4);
+}
+BENCHMARK(BM_QuantizeZb);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(10);
+  Tensor x({64, 1000});
+  rng.fill_normal(x, 0.0f, 3.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::softmax_rows(x));
+}
+BENCHMARK(BM_SoftmaxRows);
+
+}  // namespace
+
+BENCHMARK_MAIN();

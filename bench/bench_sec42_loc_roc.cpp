@@ -1,0 +1,117 @@
+// §4.2 reproduction: the Local-only (LoC) memory analysis and the
+// Remote-only (RoC) vs Split Computing transfer-latency analysis.
+//
+// LoC: N single-task networks must be resident on the edge device; the
+// MTL-Split alternative keeps one shared backbone. Memory estimates follow
+// Table 4's torchsummary convention (batch 32 @ 224x224), checked against
+// the Jetson Nano's 4 GB.
+//
+// RoC: each raw FACES frame is 2835x3543x3 float32 ~= 115 MB on the wire;
+// MTL-Split ships the ~1.5 MB flattened Z_b instead. The paper quotes
+// ~98 s vs ~12 s per 100 inputs on a gigabit channel (~87 % saving).
+#include <cstdio>
+
+#include "models/backbone.hpp"
+#include "models/profile.hpp"
+#include "sc/channel.hpp"
+#include "sc/device.hpp"
+
+using namespace mtlsplit;
+
+namespace {
+
+struct FamilySizes {
+  double est_total_mb;  // one full network, batch 32 @ 224 (training-style)
+  double infer_mb;      // params + forward activations, batch 1 (inference)
+  double zb_mb;         // single-input Z_b
+};
+
+FamilySizes family_sizes(models::BackboneKind kind) {
+  Rng rng(1);
+  auto bb =
+      models::build_backbone({kind, models::BackboneScale::kFull, 3}, rng);
+  const auto batch = models::profile_model(*bb, {32, 3, 224, 224});
+  const auto single = models::profile_model(*bb, {1, 3, 224, 224});
+  const double infer_mb =
+      single.params_mb() + single.forward_backward_mb() / 2.0;
+  return {batch.estimated_total_mb(), infer_mb, single.output_mb()};
+}
+
+}  // namespace
+
+int main() {
+  const auto jetson = sc::jetson_nano();
+  const double jetson_mb =
+      static_cast<double>(jetson.memory_bytes) / (1024.0 * 1024.0);
+
+  std::printf(
+      "Section 4.2 (LoC): edge memory, N single-task networks vs one\n"
+      "MTL-Split shared backbone (estimates at batch 32 @ 224x224;\n"
+      "edge board: %s).\n\n",
+      jetson.name.c_str());
+  std::printf("%-13s | %5s | %12s | %13s | %9s | %12s | %8s\n", "Model",
+              "tasks", "LoC N-nets MB", "MTL-Split MB", "saving %",
+              "edge infer MB", "fits 4GB");
+  for (int i = 0; i < 94; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  const models::BackboneKind kinds[] = {models::BackboneKind::kMobileNetV3,
+                                        models::BackboneKind::kEfficientNet};
+  for (auto kind : kinds) {
+    const FamilySizes fs = family_sizes(kind);
+    for (int64_t n_tasks : {2, 3}) {  // 2: 3D Shapes & MEDIC; 3: FACES
+      const double loc_mb = static_cast<double>(n_tasks) * fs.est_total_mb;
+      const double ours_mb = fs.est_total_mb;  // one shared backbone
+      std::printf("%-13s | %5lld | %12.0f | %13.0f | %9.1f | %12.0f | %4s/%s\n",
+                  models::backbone_name(kind).c_str(),
+                  static_cast<long long>(n_tasks), loc_mb, ours_mb,
+                  100.0 * (1.0 - ours_mb / loc_mb), fs.infer_mb,
+                  loc_mb <= jetson_mb ? "LoC" : "-",
+                  fs.infer_mb <= jetson_mb ? "ours" : "-");
+    }
+  }
+  for (int i = 0; i < 94; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf(
+      "(\"edge infer MB\" = params + forward activations at batch 1 — the\n"
+      "actual deployed footprint of the shared backbone on the edge board.)\n");
+  std::printf(
+      "Paper: MobileNetV3 LoC ~1.5 GB (N=2) / ~2.1 GB (N=3); EfficientNet\n"
+      "~6.9 GB / ~10.3 GB, infeasible on the 4 GB Jetson while MTL-Split\n"
+      "fits; savings ~38%% (N=2) and ~57%% (N=3) correspond to 1-1/N.\n\n");
+
+  // ----------------------------------------------------------- RoC vs SC
+  // Raw FACES frame as float32 vs the EfficientNet Z_b.
+  const double raw_bytes = 2835.0 * 3543.0 * 3.0 * 4.0;
+  const FamilySizes eff = family_sizes(models::BackboneKind::kEfficientNet);
+  const double zb_bytes = eff.zb_mb * 1024.0 * 1024.0;
+  constexpr int kInputs = 100;
+
+  std::printf(
+      "Section 4.2 (RoC vs SC): transferring %d inputs, raw frame\n"
+      "(2835x3543x3 fp32 = %.0f MB) vs flattened Z_b (%.2f MB), with a\n"
+      "0.1 s per-message base latency.\n\n",
+      kInputs, raw_bytes / 1e6, eff.zb_mb);
+  std::printf("%-14s | %14s | %14s | %10s\n", "bandwidth", "RoC 100x (s)",
+              "SC 100x (s)", "saving %");
+  for (int i = 0; i < 62; ++i) std::putchar('-');
+  std::putchar('\n');
+  const double bandwidths[] = {1e7, 1e8, 1e9, 1e10};
+  const char* labels[] = {"10 Mb/s", "100 Mb/s", "1 Gb/s (paper)", "10 Gb/s"};
+  for (size_t i = 0; i < 4; ++i) {
+    sc::Channel ch({.bandwidth_bps = bandwidths[i], .base_latency_s = 0.1});
+    const double roc =
+        kInputs * ch.transfer_time(static_cast<int64_t>(raw_bytes));
+    const double scs =
+        kInputs * ch.transfer_time(static_cast<int64_t>(zb_bytes));
+    std::printf("%-14s | %14.1f | %14.1f | %10.1f\n", labels[i], roc, scs,
+                100.0 * (1.0 - scs / roc));
+  }
+  for (int i = 0; i < 62; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf(
+      "Paper (1 Gb/s): ~98 s RoC vs ~12 s SC, ~87%% latency saving; the\n"
+      "saving grows as bandwidth degrades (the degraded-channel motivation\n"
+      "of §1) and shrinks only when the pipe is absurdly fast.\n");
+  return 0;
+}

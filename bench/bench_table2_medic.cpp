@@ -1,0 +1,59 @@
+// Table 2 reproduction: STL vs MTL accuracy on the MEDIC-like synthetic
+// disaster dataset.
+//   T1 = damage severity (3 classes), T2 = disaster type (4 classes).
+// The generator's label noise pins accuracies into the paper's hard-task
+// band where MTL deltas are small and can dip slightly negative
+// ("gradient fluctuations", §4.1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/medic_synth.hpp"
+
+using namespace mtlsplit;
+
+int main() {
+  data::MedicSynthConfig dc;
+  dc.count = 2400;
+  dc.image_size = 16;
+  dc.seed = 2;
+  const auto full = data::make_medic_synth(dc);
+  Rng split_rng(12);
+  const auto split = data::train_test_split(full, 0.2, split_rng);
+
+  bench::Protocol proto;
+  proto.epochs = 5;
+
+  std::printf(
+      "Table 2: accuracy on the test set of the MEDIC-like dataset\n"
+      "         T1 = damage severity (3 classes), T2 = disaster type (4)\n"
+      "         %lld train / %lld test images, %lld epochs, AdamW\n"
+      "         (per-family lr, shared between STL and MTL). Values in %%.\n\n",
+      static_cast<long long>(split.train.size()),
+      static_cast<long long>(split.test.size()),
+      static_cast<long long>(proto.epochs));
+  std::printf("%-13s | %8s %8s | %16s %16s\n", "Model", "STL T1", "STL T2",
+              "MTL T1 (delta)", "MTL T2 (delta)");
+  bench::print_rule(72);
+
+  for (auto kind : models::kAllBackbones) {
+    proto.lr = bench::family_lr(kind);
+    const auto stl_t1 =
+        bench::train_and_eval(kind, split.train, split.test, {0}, proto);
+    const auto stl_t2 =
+        bench::train_and_eval(kind, split.train, split.test, {1}, proto);
+    const auto mtl =
+        bench::train_and_eval(kind, split.train, split.test, {0, 1}, proto);
+    std::printf("%-13s | %8.2f %8.2f | %16s %16s\n",
+                models::backbone_name(kind).c_str(), bench::pct(stl_t1[0]),
+                bench::pct(stl_t2[0]),
+                bench::with_delta(mtl[0], stl_t1[0]).c_str(),
+                bench::with_delta(mtl[1], stl_t2[0]).c_str());
+    std::fflush(stdout);
+  }
+  bench::print_rule(72);
+  std::printf(
+      "Paper's shape: accuracies sit in a hard-task band (50-65%%); MTL\n"
+      "deltas are small (about +-2 points) and an isolated tiny negative\n"
+      "delta is expected noise, not negative transfer (paper §4.1).\n");
+  return 0;
+}

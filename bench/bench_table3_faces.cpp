@@ -1,0 +1,153 @@
+// Table 3 reproduction: STL vs MTL task combinations on the FACES-like
+// dataset, using the paper's fine-tuning strategy (§3.3, Eqs. 5-6) from a
+// pretrained backbone.
+//
+//   T1 = perceived age (3), T2 = gender (2), T3 = facial expression (3).
+//   Combos reported: STL each, MTL(T1+T3), MTL(T2+T3), MTL(T1+T2+T3).
+//
+// "Pretrained on ImageNet" is simulated by pretraining each backbone on
+// the (different-domain) 3D-Shapes-like generator before fine-tuning on
+// faces with head lr alpha and backbone lr eta << alpha.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/faces_synth.hpp"
+#include "data/shapes3d.hpp"
+#include "mtl/finetune.hpp"
+
+using namespace mtlsplit;
+
+namespace {
+
+/// Snapshot of backbone weights for reuse across fine-tuning runs.
+std::vector<Tensor> snapshot(core::MtlSplitModel& model) {
+  std::vector<Tensor> out;
+  for (nn::Parameter* p : model.backbone_params()) out.push_back(p->value);
+  return out;
+}
+
+void restore(core::MtlSplitModel& model, const std::vector<Tensor>& snap) {
+  const auto params = model.backbone_params();
+  check_arg(params.size() == snap.size(), "restore: parameter mismatch");
+  for (size_t i = 0; i < snap.size(); ++i) params[i]->value = snap[i];
+}
+
+/// Fine-tunes a fresh-headed model (backbone initialised from @p pretrained)
+/// on the given task subset; returns per-task test accuracy.
+std::vector<double> finetune_run(models::BackboneKind kind,
+                                 const std::vector<Tensor>& pretrained,
+                                 const data::MultiTaskDataset& train_set,
+                                 const data::MultiTaskDataset& test_set,
+                                 const std::vector<size_t>& task_indices,
+                                 const bench::Protocol& proto) {
+  const auto train = train_set.select_tasks(task_indices);
+  const auto test = test_set.select_tasks(task_indices);
+  Rng rng(proto.model_seed);
+  core::ModelFactoryConfig mc;
+  mc.backbone = kind;
+  mc.image_shape = train.image_shape();
+  mc.head_hidden_dim = proto.head_hidden;
+  std::vector<data::TaskSpec> tasks;
+  for (int64_t j = 0; j < train.num_tasks(); ++j)
+    tasks.push_back(train.task(static_cast<size_t>(j)));
+  auto model = core::make_mtl_model(mc, tasks, rng);
+  restore(*model, pretrained);
+
+  core::FinetuneConfig fc;
+  fc.epochs = proto.epochs;
+  fc.batch_size = proto.batch_size;
+  fc.alpha = proto.lr;           // head rate (Eq. 5)
+  fc.eta = proto.lr * 0.01f;     // conservative shared rate (Eq. 6)
+  fc.seed = proto.train_seed;
+  core::finetune_model(*model, train, fc);
+  return core::evaluate_model(*model, test);
+}
+
+}  // namespace
+
+int main() {
+  // Fine-tuning target: the FACES-like dataset (2,052 images, like the
+  // real FACES).
+  data::FacesSynthConfig fc_data;
+  fc_data.count = 1600;
+  fc_data.image_size = 16;
+  fc_data.seed = 3;
+  const auto faces = data::make_faces_synth(fc_data);
+  Rng split_rng(13);
+  const auto split = data::train_test_split(faces, 0.2, split_rng);
+
+  // Pretraining source: a different-domain synthetic dataset.
+  data::Shapes3dConfig pre_cfg;
+  pre_cfg.count = 1200;
+  pre_cfg.image_size = 16;
+  pre_cfg.noise_frac = 0.0f;
+  pre_cfg.seed = 4;
+  const auto pretrain_ds = data::make_shapes3d_t1t2(pre_cfg);
+
+  bench::Protocol proto;
+  proto.epochs = 3;
+
+  std::printf(
+      "Table 3: accuracy on the FACES-like test set after fine-tuning from\n"
+      "         pretrained backbones (alpha = per-family lr, eta = alpha/100,\n"
+      "         shared between STL and MTL columns).\n"
+      "         T1 = age (3), T2 = gender (2), T3 = expression (3).\n"
+      "         Values in %%.\n\n");
+  std::printf("%-13s | %7s %7s %7s | %10s %10s | %10s %10s | %10s %10s %10s\n",
+              "Model", "STL T1", "STL T2", "STL T3", "T1+T3:T1", "T1+T3:T3",
+              "T2+T3:T2", "T2+T3:T3", "all:T1", "all:T2", "all:T3");
+  bench::print_rule(130);
+
+  for (auto kind : models::kAllBackbones) {
+    proto.lr = bench::family_lr(kind);
+    // --- pretrain once per backbone (ImageNet stand-in).
+    Rng rng(proto.model_seed);
+    core::ModelFactoryConfig mc;
+    mc.backbone = kind;
+    mc.image_shape = pretrain_ds.image_shape();
+    mc.head_hidden_dim = proto.head_hidden;
+    auto pre_model = core::make_mtl_model(
+        mc, {pretrain_ds.task(0), pretrain_ds.task(1)}, rng);
+    core::TrainConfig ptc;
+    ptc.epochs = 3;
+    ptc.batch_size = 16;
+    ptc.lr = proto.lr;
+    ptc.seed = proto.train_seed;
+    core::train_model(*pre_model, pretrain_ds, ptc);
+    const auto pretrained = snapshot(*pre_model);
+
+    // --- STL baselines.
+    const auto s1 = finetune_run(kind, pretrained, split.train, split.test,
+                                 {0}, proto);
+    const auto s2 = finetune_run(kind, pretrained, split.train, split.test,
+                                 {1}, proto);
+    const auto s3 = finetune_run(kind, pretrained, split.train, split.test,
+                                 {2}, proto);
+    // --- MTL combos of Table 3.
+    const auto m13 = finetune_run(kind, pretrained, split.train, split.test,
+                                  {0, 2}, proto);
+    const auto m23 = finetune_run(kind, pretrained, split.train, split.test,
+                                  {1, 2}, proto);
+    const auto mall = finetune_run(kind, pretrained, split.train, split.test,
+                                   {0, 1, 2}, proto);
+
+    std::printf(
+        "%-13s | %7.2f %7.2f %7.2f | %10s %10s | %10s %10s | %10s %10s %10s\n",
+        models::backbone_name(kind).c_str(), bench::pct(s1[0]),
+        bench::pct(s2[0]), bench::pct(s3[0]),
+        bench::with_delta(m13[0], s1[0]).c_str(),
+        bench::with_delta(m13[1], s3[0]).c_str(),
+        bench::with_delta(m23[0], s2[0]).c_str(),
+        bench::with_delta(m23[1], s3[0]).c_str(),
+        bench::with_delta(mall[0], s1[0]).c_str(),
+        bench::with_delta(mall[1], s2[0]).c_str(),
+        bench::with_delta(mall[2], s3[0]).c_str());
+    std::fflush(stdout);
+  }
+  bench::print_rule(130);
+  std::printf(
+      "Paper's shape: pretrained accuracies are high; MTL lifts or matches\n"
+      "every task, with the weakest task (T3, expression) gaining the most\n"
+      "and flat cases aligning with STL (no negative transfer).\n");
+  return 0;
+}

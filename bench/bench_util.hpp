@@ -1,0 +1,90 @@
+// Shared helpers for the table-reproduction benches.
+//
+// Each accuracy bench follows the paper's protocol (§4.1): train an STL
+// model per task and one MTL model on all tasks, with identical backbone
+// family, data, epochs and optimizer, then report test accuracy side by
+// side. Absolute numbers differ from the paper (different substrate and
+// scale — see DESIGN.md §2); the *shape* (MTL >= STL, who gains most) is
+// the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "mtl/model_factory.hpp"
+#include "mtl/trainer.hpp"
+
+namespace mtlsplit::bench {
+
+struct Protocol {
+  int64_t epochs = 5;
+  int64_t batch_size = 16;
+  float lr = 2e-3f;
+  int64_t head_hidden = 32;
+  int64_t image_size = 16;
+  uint64_t model_seed = 101;
+  uint64_t train_seed = 202;
+};
+
+/// Learning rate per backbone family. The paper fine-tunes pretrained
+/// networks with one lr; training from scratch, each family has a very
+/// different stable step size (plain VGG diverges where the BN-normalised
+/// families are still warming up). What the table compares — STL vs MTL —
+/// always shares the lr within a row.
+inline float family_lr(models::BackboneKind kind) {
+  switch (kind) {
+    case models::BackboneKind::kVgg16:
+      return 1e-3f;
+    case models::BackboneKind::kMobileNetV3:
+    case models::BackboneKind::kEfficientNet:
+      return 3e-3f;
+  }
+  return 1e-3f;
+}
+
+/// Trains a fresh model of @p kind on the given task subset and returns
+/// per-task test accuracy (task order follows @p task_indices).
+inline std::vector<double> train_and_eval(
+    models::BackboneKind kind, const data::MultiTaskDataset& train_set,
+    const data::MultiTaskDataset& test_set,
+    const std::vector<size_t>& task_indices, const Protocol& proto) {
+  const auto train = train_set.select_tasks(task_indices);
+  const auto test = test_set.select_tasks(task_indices);
+
+  Rng rng(proto.model_seed);
+  core::ModelFactoryConfig mc;
+  mc.backbone = kind;
+  mc.image_shape = train.image_shape();
+  mc.head_hidden_dim = proto.head_hidden;
+  std::vector<data::TaskSpec> tasks;
+  for (int64_t j = 0; j < train.num_tasks(); ++j)
+    tasks.push_back(train.task(static_cast<size_t>(j)));
+  auto model = core::make_mtl_model(mc, tasks, rng);
+
+  core::TrainConfig tc;
+  tc.epochs = proto.epochs;
+  tc.batch_size = proto.batch_size;
+  tc.lr = proto.lr;
+  tc.seed = proto.train_seed;
+  core::train_model(*model, train, tc);
+  return core::evaluate_model(*model, test);
+}
+
+inline double pct(double frac) { return 100.0 * frac; }
+
+/// "51.10 (+38.60)" formatting for MTL columns.
+inline std::string with_delta(double mtl, double stl) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%6.2f (%+.2f)", pct(mtl),
+                pct(mtl) - pct(stl));
+  return buf;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mtlsplit::bench

@@ -1,0 +1,57 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+
+namespace mtlsplit::data {
+
+DataLoader::DataLoader(const MultiTaskDataset& ds, int64_t batch_size,
+                       bool shuffle, bool drop_last)
+    : ds_(&ds),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last),
+      order_(static_cast<size_t>(ds.size())) {
+  check_arg(batch_size > 0, "DataLoader: batch size must be positive");
+  check_arg(ds.size() > 0, "DataLoader: empty dataset");
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void DataLoader::reset(Rng& rng) {
+  cursor_ = 0;
+  if (shuffle_) rng.shuffle(order_);
+}
+
+bool DataLoader::next(Batch& out) {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  if (cursor_ >= n) return false;
+  const int64_t end = std::min(cursor_ + batch_size_, n);
+  if (drop_last_ && end - cursor_ < batch_size_) return false;
+  out = gather_batch(
+      *ds_, std::span<const int64_t>(order_.data() + cursor_,
+                                     static_cast<size_t>(end - cursor_)));
+  cursor_ = end;
+  return true;
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  return drop_last_ ? n / batch_size_ : (n + batch_size_ - 1) / batch_size_;
+}
+
+TrainTestSplit train_test_split(const MultiTaskDataset& ds, double test_frac,
+                                Rng& rng) {
+  check_arg(test_frac > 0.0 && test_frac < 1.0,
+            "train_test_split: test_frac must be in (0, 1)");
+  std::vector<int64_t> idx(static_cast<size_t>(ds.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  const auto n_test = static_cast<size_t>(
+      static_cast<double>(ds.size()) * test_frac);
+  check_arg(n_test > 0 && n_test < idx.size(),
+            "train_test_split: degenerate split");
+  std::vector<int64_t> test_idx(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_test));
+  std::vector<int64_t> train_idx(idx.begin() + static_cast<std::ptrdiff_t>(n_test), idx.end());
+  return {ds.subset(train_idx), ds.subset(test_idx)};
+}
+
+}  // namespace mtlsplit::data

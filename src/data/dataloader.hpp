@@ -1,0 +1,40 @@
+// Minibatch iteration with optional shuffling.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::data {
+
+class DataLoader {
+ public:
+  /// @p drop_last drops a trailing partial batch (keeps batch statistics
+  /// stable for BatchNorm training).
+  DataLoader(const MultiTaskDataset& ds, int64_t batch_size, bool shuffle,
+             bool drop_last = false);
+
+  /// Re-deals the epoch; with shuffle, order is drawn from @p rng.
+  void reset(Rng& rng);
+
+  /// Fills @p out with the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const MultiTaskDataset* ds_;
+  int64_t batch_size_;
+  bool shuffle_, drop_last_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+/// Splits a dataset into train/test by shuffled indices.
+struct TrainTestSplit {
+  MultiTaskDataset train;
+  MultiTaskDataset test;
+};
+TrainTestSplit train_test_split(const MultiTaskDataset& ds, double test_frac,
+                                Rng& rng);
+
+}  // namespace mtlsplit::data

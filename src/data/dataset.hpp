@@ -1,0 +1,73 @@
+// Multi-task image dataset container (paper Eq. 1):
+//   D = { (x_i, y_i) },  x_i in R^{c x h x w},  y_i in N^N
+// Images are stored as one contiguous [K, C, H, W] tensor; labels as one
+// integer vector per task.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::data {
+
+/// One inference task T_j: a name and its class count.
+struct TaskSpec {
+  std::string name;
+  int64_t num_classes = 0;
+};
+
+class MultiTaskDataset {
+ public:
+  MultiTaskDataset() = default;
+  MultiTaskDataset(Tensor images, std::vector<std::vector<int64_t>> labels,
+                   std::vector<TaskSpec> tasks);
+
+  int64_t size() const { return images_.numel() == 0 ? 0 : images_.size(0); }
+  int64_t num_tasks() const { return static_cast<int64_t>(tasks_.size()); }
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+  const TaskSpec& task(size_t j) const {
+    check_bounds(j < tasks_.size(), "MultiTaskDataset: task out of range");
+    return tasks_[j];
+  }
+
+  const Tensor& images() const { return images_; }
+  /// Labels of task @p j for every sample.
+  const std::vector<int64_t>& labels(size_t j) const {
+    check_bounds(j < labels_.size(), "MultiTaskDataset: task out of range");
+    return labels_[j];
+  }
+
+  /// Shape of one image: {C, H, W}.
+  Shape image_shape() const {
+    check_arg(images_.dim() == 4, "MultiTaskDataset: empty dataset");
+    return {images_.size(1), images_.size(2), images_.size(3)};
+  }
+
+  /// Gathers samples by index into a new dataset (used by splits).
+  MultiTaskDataset subset(const std::vector<int64_t>& indices) const;
+
+  /// Keeps only the given task columns (e.g. Table 3's T1+T3 combination).
+  MultiTaskDataset select_tasks(const std::vector<size_t>& task_indices) const;
+
+  /// Direct mutable access for in-place transforms (noise injection).
+  Tensor& mutable_images() { return images_; }
+
+ private:
+  Tensor images_;  // [K, C, H, W]
+  std::vector<std::vector<int64_t>> labels_;
+  std::vector<TaskSpec> tasks_;
+};
+
+/// A minibatch: images [B, C, H, W] plus per-task label vectors.
+struct Batch {
+  Tensor images;
+  std::vector<std::vector<int64_t>> labels;
+  int64_t size() const { return images.numel() == 0 ? 0 : images.size(0); }
+};
+
+/// Extracts the samples at @p indices as a Batch.
+Batch gather_batch(const MultiTaskDataset& ds,
+                   std::span<const int64_t> indices);
+
+}  // namespace mtlsplit::data

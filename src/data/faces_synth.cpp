@@ -1,0 +1,116 @@
+#include "data/faces_synth.hpp"
+
+#include <cmath>
+
+#include "data/noise.hpp"
+#include "data/paint.hpp"
+
+namespace mtlsplit::data {
+
+namespace {
+
+void render_face(Canvas& cv, int64_t age, int64_t gender, int64_t expression,
+                 Rng& rng) {
+  const int64_t h = cv.height(), w = cv.width();
+  const auto hf = static_cast<double>(h), wf = static_cast<double>(w);
+
+  // Background.
+  const float bg = rng.uniform(0.85f, 0.95f);
+  cv.fill(bg, bg, bg);
+
+  // Face: ellipse approximated by stacked circles; older faces elongate.
+  const double cy = hf * 0.55, cx = wf * 0.5;
+  const double rx = wf * 0.30;
+  const double ry = rx * (1.0 + 0.12 * static_cast<double>(age));
+  const Rgb skin = hsv_to_rgb(0.08f, gender == 0 ? 0.45f : 0.30f,
+                              rng.uniform(0.80f, 0.92f));
+  for (double t = -1.0; t <= 1.0; t += 0.15) {
+    const double yy = cy + t * (ry - rx * 0.6);
+    cv.fill_circle(yy, cx, rx * std::sqrt(std::max(0.1, 1.0 - t * t * 0.5)),
+                   skin.r, skin.g, skin.b);
+  }
+
+  // Hair: males (gender 0) get a flat top block, females a wide mane.
+  const Rgb hair = hsv_to_rgb(
+      rng.uniform(0.05f, 0.12f),
+      age == 2 ? 0.05f : 0.7f,                    // grey hair for "old"
+      age == 2 ? 0.75f : rng.uniform(0.15f, 0.4f));
+  const auto top = static_cast<int64_t>(cy - ry);
+  if (gender == 0) {
+    cv.fill_rect(top - 1, static_cast<int64_t>(cx - rx * 0.9), top + 3,
+                 static_cast<int64_t>(cx + rx * 0.9) + 1, hair.r, hair.g,
+                 hair.b);
+  } else {
+    cv.fill_rect(top - 1, static_cast<int64_t>(cx - rx * 1.25), top + 5,
+                 static_cast<int64_t>(cx - rx * 0.55), hair.r, hair.g, hair.b);
+    cv.fill_rect(top - 1, static_cast<int64_t>(cx + rx * 0.55), top + 5,
+                 static_cast<int64_t>(cx + rx * 1.25) + 1, hair.r, hair.g,
+                 hair.b);
+    cv.fill_rect(top - 1, static_cast<int64_t>(cx - rx * 0.9), top + 2,
+                 static_cast<int64_t>(cx + rx * 0.9) + 1, hair.r, hair.g,
+                 hair.b);
+  }
+
+  // Eyes with expression-dependent brows.
+  const double eye_y = cy - ry * 0.25;
+  const double eye_dx = rx * 0.45;
+  for (int side = -1; side <= 1; side += 2) {
+    const double ex = cx + side * eye_dx;
+    cv.fill_circle(eye_y, ex, 1.1, 0.1f, 0.1f, 0.15f);
+    // Brow tilt: up-out for smile, flat for neutral, down-in for frown.
+    const double tilt = expression == 0 ? -0.8 : (expression == 1 ? 0.0 : 0.8);
+    cv.draw_line(eye_y - 2.0 + tilt * side * 0.0, ex - 1.5,
+                 eye_y - 2.0 + tilt, ex + 1.5, 0.2f, 0.15f, 0.1f);
+  }
+
+  // Wrinkles: age cue (0 none, 1 one line, 2 three lines).
+  const int64_t wrinkles = age == 0 ? 0 : (age == 1 ? 1 : 3);
+  for (int64_t i = 0; i < wrinkles; ++i) {
+    const double wy = cy - ry * 0.55 + static_cast<double>(i) * 1.6;
+    cv.draw_line(wy, cx - rx * 0.5, wy, cx + rx * 0.5, skin.r * 0.6f,
+                 skin.g * 0.6f, skin.b * 0.6f);
+  }
+
+  // Mouth: expression cue. Smile curves down-up, frown up-down.
+  const double mouth_y = cy + ry * 0.45;
+  const double mouth_hw = rx * 0.5;
+  const double curve =
+      expression == 0 ? -1.6 : (expression == 1 ? 0.0 : 1.6);
+  for (double t = -1.0; t <= 1.0; t += 0.2) {
+    const double yy = mouth_y + curve * (t * t - 0.5);
+    cv.set(static_cast<int64_t>(std::lround(yy)),
+           static_cast<int64_t>(std::lround(cx + t * mouth_hw)), 0.55f, 0.15f,
+           0.15f);
+  }
+}
+
+}  // namespace
+
+MultiTaskDataset make_faces_synth(const FacesSynthConfig& cfg) {
+  check_arg(cfg.count > 0, "make_faces_synth: count must be positive");
+  check_arg(cfg.image_size >= 12, "make_faces_synth: image too small");
+  Rng rng(cfg.seed);
+  const int64_t hw = cfg.image_size;
+  Tensor images({cfg.count, 3, hw, hw});
+  std::vector<std::vector<int64_t>> labels(3);
+
+  for (int64_t i = 0; i < cfg.count; ++i) {
+    const int64_t age = rng.randint(0, kFacesAgeClasses - 1);
+    const int64_t gender = rng.randint(0, kFacesGenderClasses - 1);
+    const int64_t expr = rng.randint(0, kFacesExpressionClasses - 1);
+    labels[0].push_back(age);
+    labels[1].push_back(gender);
+    labels[2].push_back(expr);
+    Canvas cv(images.data() + i * 3 * hw * hw, 3, hw, hw);
+    render_face(cv, age, gender, expr, rng);
+  }
+  if (cfg.pixel_noise > 0.0f) gaussian_noise(images, cfg.pixel_noise, rng);
+
+  std::vector<TaskSpec> tasks = {{"age", kFacesAgeClasses},
+                                 {"gender", kFacesGenderClasses},
+                                 {"expression", kFacesExpressionClasses}};
+  return MultiTaskDataset(std::move(images), std::move(labels),
+                          std::move(tasks));
+}
+
+}  // namespace mtlsplit::data

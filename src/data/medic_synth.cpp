@@ -1,0 +1,106 @@
+#include "data/medic_synth.hpp"
+
+#include <cmath>
+
+#include "data/noise.hpp"
+#include "data/paint.hpp"
+
+namespace mtlsplit::data {
+
+namespace {
+
+void render_disaster(Canvas& cv, int64_t disaster, Rng& rng) {
+  const int64_t h = cv.height(), w = cv.width();
+  switch (disaster) {
+    case 0: {  // fire: dark background, warm glow blobs
+      cv.fill(0.15f, 0.08f, 0.05f);
+      const int64_t blobs = 3 + rng.randint(0, 3);
+      for (int64_t i = 0; i < blobs; ++i) {
+        const Rgb c = hsv_to_rgb(rng.uniform(0.0f, 0.09f), 0.9f,
+                                 rng.uniform(0.7f, 1.0f));
+        cv.fill_circle(rng.uniform(0, static_cast<float>(h)),
+                       rng.uniform(0, static_cast<float>(w)),
+                       rng.uniform(1.5f, 4.0f), c.r, c.g, c.b);
+      }
+      break;
+    }
+    case 1: {  // flood: blue-brown horizontal wave bands
+      for (int64_t y = 0; y < h; ++y) {
+        const float phase =
+            std::sin(static_cast<float>(y) * 0.9f + rng.uniform(0.f, 0.4f));
+        const Rgb c = hsv_to_rgb(0.55f + 0.05f * phase, 0.7f,
+                                 0.45f + 0.15f * phase);
+        for (int64_t x = 0; x < w; ++x) cv.set(y, x, c.r, c.g, c.b);
+      }
+      break;
+    }
+    case 2: {  // earthquake: grey rubble blocks
+      cv.fill(0.55f, 0.53f, 0.50f);
+      const int64_t blocks = 5 + rng.randint(0, 4);
+      for (int64_t i = 0; i < blocks; ++i) {
+        const float v = rng.uniform(0.25f, 0.75f);
+        const int64_t y0 = rng.randint(0, h - 2), x0 = rng.randint(0, w - 2);
+        cv.fill_rect(y0, x0, y0 + rng.randint(2, 6), x0 + rng.randint(2, 6),
+                     v, v * 0.97f, v * 0.92f);
+      }
+      break;
+    }
+    default: {  // hurricane: green-grey diagonal streaks
+      cv.fill(0.35f, 0.45f, 0.40f);
+      const int64_t streaks = 4 + rng.randint(0, 4);
+      for (int64_t i = 0; i < streaks; ++i) {
+        const float v = rng.uniform(0.4f, 0.8f);
+        const auto y0 = rng.uniform(0, static_cast<float>(h));
+        const auto x0 = rng.uniform(0, static_cast<float>(w));
+        cv.draw_line(y0, x0, y0 + rng.uniform(3.f, 8.f),
+                     x0 + rng.uniform(3.f, 8.f), v * 0.8f, v, v * 0.9f);
+      }
+      break;
+    }
+  }
+}
+
+void render_damage(Canvas& cv, int64_t severity, Rng& rng) {
+  // Severity 0 = none, 1 = mild, 2 = severe: increasing dark debris patches.
+  const int64_t patches = severity * (2 + rng.randint(0, 1));
+  for (int64_t i = 0; i < patches; ++i) {
+    const int64_t y0 = rng.randint(0, cv.height() - 2);
+    const int64_t x0 = rng.randint(0, cv.width() - 2);
+    const float v = rng.uniform(0.0f, 0.15f);
+    cv.fill_rect(y0, x0, y0 + rng.randint(1, 3), x0 + rng.randint(1, 3), v, v,
+                 v);
+  }
+}
+
+}  // namespace
+
+MultiTaskDataset make_medic_synth(const MedicSynthConfig& cfg) {
+  check_arg(cfg.count > 0, "make_medic_synth: count must be positive");
+  check_arg(cfg.image_size >= 8, "make_medic_synth: image too small");
+  Rng rng(cfg.seed);
+  const int64_t hw = cfg.image_size;
+  Tensor images({cfg.count, 3, hw, hw});
+  std::vector<std::vector<int64_t>> labels(2);
+
+  for (int64_t i = 0; i < cfg.count; ++i) {
+    const int64_t damage = rng.randint(0, kMedicDamageClasses - 1);
+    const int64_t disaster = rng.randint(0, kMedicDisasterClasses - 1);
+    labels[0].push_back(damage);
+    labels[1].push_back(disaster);
+    Canvas cv(images.data() + i * 3 * hw * hw, 3, hw, hw);
+    render_disaster(cv, disaster, rng);
+    render_damage(cv, damage, rng);
+  }
+  if (cfg.pixel_noise > 0.0f) gaussian_noise(images, cfg.pixel_noise, rng);
+  if (cfg.label_noise > 0.0f) {
+    label_noise(labels[0], kMedicDamageClasses, cfg.label_noise, rng);
+    label_noise(labels[1], kMedicDisasterClasses, cfg.label_noise, rng);
+  }
+
+  std::vector<TaskSpec> tasks = {{"damage_severity", kMedicDamageClasses},
+                                 {"disaster_type", kMedicDisasterClasses}};
+  return MultiTaskDataset(std::move(images), std::move(labels),
+                          std::move(tasks));
+}
+
+}  // namespace mtlsplit::data

@@ -1,0 +1,37 @@
+#include "data/noise.hpp"
+
+#include <algorithm>
+
+namespace mtlsplit::data {
+
+void salt_and_pepper(Tensor& images, float frac, Rng& rng) {
+  check_arg(images.dim() == 4, "salt_and_pepper: images must be [K,C,H,W]");
+  check_arg(frac >= 0.0f && frac <= 1.0f, "salt_and_pepper: bad fraction");
+  const int64_t k = images.size(0), c = images.size(1);
+  const int64_t plane = images.size(2) * images.size(3);
+  float* p = images.data();
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < plane; ++j) {
+      if (!rng.bernoulli(frac)) continue;
+      const float v = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+      for (int64_t ch = 0; ch < c; ++ch)
+        p[(i * c + ch) * plane + j] = v;
+    }
+  }
+}
+
+void gaussian_noise(Tensor& images, float stddev, Rng& rng) {
+  check_arg(stddev >= 0.0f, "gaussian_noise: negative stddev");
+  for (float& v : images.span())
+    v = std::clamp(v + rng.normal(0.0f, stddev), 0.0f, 1.0f);
+}
+
+void label_noise(std::vector<int64_t>& labels, int64_t num_classes,
+                 float frac, Rng& rng) {
+  check_arg(num_classes > 1, "label_noise: need >= 2 classes");
+  check_arg(frac >= 0.0f && frac <= 1.0f, "label_noise: bad fraction");
+  for (int64_t& y : labels)
+    if (rng.bernoulli(frac)) y = rng.randint(0, num_classes - 1);
+}
+
+}  // namespace mtlsplit::data

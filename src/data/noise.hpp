@@ -1,0 +1,23 @@
+// Image corruption transforms.
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::data {
+
+/// Salt-and-pepper noise: each *pixel* (all channels together) is replaced
+/// by black or white with probability @p frac. The paper applies 15 % to
+/// the 3D Shapes images to make the classification tasks non-trivial (§4).
+void salt_and_pepper(Tensor& images, float frac, Rng& rng);
+
+/// Additive Gaussian pixel noise, clamped to [0, 1].
+void gaussian_noise(Tensor& images, float stddev, Rng& rng);
+
+/// Flips each label to a uniformly random class with probability @p frac
+/// (used by the MEDIC-like generator to pin accuracies into the paper's
+/// hard-dataset band).
+void label_noise(std::vector<int64_t>& labels, int64_t num_classes,
+                 float frac, Rng& rng);
+
+}  // namespace mtlsplit::data

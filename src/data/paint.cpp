@@ -1,0 +1,129 @@
+#include "data/paint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtlsplit::data {
+
+void Canvas::set(int64_t y, int64_t x, float r, float g, float b) {
+  if (y < 0 || y >= h_ || x < 0 || x >= w_) return;
+  const float rgb[3] = {r, g, b};
+  for (int64_t c = 0; c < c_; ++c)
+    data_[c * h_ * w_ + y * w_ + x] = rgb[std::min<int64_t>(c, 2)];
+}
+
+void Canvas::blend(int64_t y, int64_t x, float r, float g, float b,
+                   float alpha) {
+  if (y < 0 || y >= h_ || x < 0 || x >= w_) return;
+  alpha = std::clamp(alpha, 0.0f, 1.0f);
+  const float rgb[3] = {r, g, b};
+  for (int64_t c = 0; c < c_; ++c) {
+    float& px = data_[c * h_ * w_ + y * w_ + x];
+    px = (1.0f - alpha) * px + alpha * rgb[std::min<int64_t>(c, 2)];
+  }
+}
+
+void Canvas::fill(float r, float g, float b) { fill_rows(0, h_, r, g, b); }
+
+void Canvas::fill_rows(int64_t y0, int64_t y1, float r, float g, float b) {
+  y0 = std::clamp<int64_t>(y0, 0, h_);
+  y1 = std::clamp<int64_t>(y1, 0, h_);
+  for (int64_t y = y0; y < y1; ++y)
+    for (int64_t x = 0; x < w_; ++x) set(y, x, r, g, b);
+}
+
+void Canvas::fill_rect(int64_t y0, int64_t x0, int64_t y1, int64_t x1,
+                       float r, float g, float b) {
+  for (int64_t y = std::max<int64_t>(y0, 0); y < std::min(y1, h_); ++y)
+    for (int64_t x = std::max<int64_t>(x0, 0); x < std::min(x1, w_); ++x)
+      set(y, x, r, g, b);
+}
+
+void Canvas::fill_circle(double cy, double cx, double radius, float r,
+                         float g, float b) {
+  const auto y0 = static_cast<int64_t>(std::floor(cy - radius));
+  const auto y1 = static_cast<int64_t>(std::ceil(cy + radius));
+  for (int64_t y = y0; y <= y1; ++y)
+    for (int64_t x = static_cast<int64_t>(std::floor(cx - radius));
+         x <= static_cast<int64_t>(std::ceil(cx + radius)); ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      if (dy * dy + dx * dx <= radius * radius) set(y, x, r, g, b);
+    }
+}
+
+void Canvas::fill_rot_square(double cy, double cx, double half, double angle,
+                             float r, float g, float b) {
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  const double reach = half * 1.5;
+  for (int64_t y = static_cast<int64_t>(std::floor(cy - reach));
+       y <= static_cast<int64_t>(std::ceil(cy + reach)); ++y)
+    for (int64_t x = static_cast<int64_t>(std::floor(cx - reach));
+         x <= static_cast<int64_t>(std::ceil(cx + reach)); ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      // Rotate the point into the square's frame.
+      const double u = ca * dx + sa * dy;
+      const double v = -sa * dx + ca * dy;
+      if (std::abs(u) <= half && std::abs(v) <= half) set(y, x, r, g, b);
+    }
+}
+
+void Canvas::fill_triangle(double cy, double cx, double radius, double angle,
+                           float r, float g, float b) {
+  // Vertices of an equilateral triangle on the circumcircle.
+  double vy[3], vx[3];
+  for (int k = 0; k < 3; ++k) {
+    const double a = angle - 1.5707963267948966 +
+                     2.0943951023931953 * static_cast<double>(k);
+    vy[k] = cy + radius * std::sin(a);
+    vx[k] = cx + radius * std::cos(a);
+  }
+  auto edge = [](double ay, double ax, double by, double bx, double py,
+                 double px) {
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+  };
+  const auto y0 = static_cast<int64_t>(std::floor(cy - radius - 1));
+  const auto y1 = static_cast<int64_t>(std::ceil(cy + radius + 1));
+  const auto x0 = static_cast<int64_t>(std::floor(cx - radius - 1));
+  const auto x1 = static_cast<int64_t>(std::ceil(cx + radius + 1));
+  for (int64_t y = y0; y <= y1; ++y)
+    for (int64_t x = x0; x <= x1; ++x) {
+      const auto py = static_cast<double>(y), px = static_cast<double>(x);
+      const double e0 = edge(vy[0], vx[0], vy[1], vx[1], py, px);
+      const double e1 = edge(vy[1], vx[1], vy[2], vx[2], py, px);
+      const double e2 = edge(vy[2], vx[2], vy[0], vx[0], py, px);
+      if ((e0 >= 0 && e1 >= 0 && e2 >= 0) || (e0 <= 0 && e1 <= 0 && e2 <= 0))
+        set(y, x, r, g, b);
+    }
+}
+
+void Canvas::draw_line(double y0, double x0, double y1, double x1, float r,
+                       float g, float b) {
+  const double steps =
+      std::max(std::abs(y1 - y0), std::abs(x1 - x0)) * 2.0 + 1.0;
+  for (double t = 0.0; t <= 1.0; t += 1.0 / steps) {
+    set(static_cast<int64_t>(std::lround(y0 + t * (y1 - y0))),
+        static_cast<int64_t>(std::lround(x0 + t * (x1 - x0))), r, g, b);
+  }
+}
+
+Rgb hsv_to_rgb(float h, float s, float v) {
+  h = h - std::floor(h);  // wrap into [0,1)
+  const float hh = h * 6.0f;
+  const int sector = static_cast<int>(hh) % 6;
+  const float f = hh - std::floor(hh);
+  const float p = v * (1.0f - s);
+  const float q = v * (1.0f - s * f);
+  const float t = v * (1.0f - s * (1.0f - f));
+  switch (sector) {
+    case 0: return {v, t, p};
+    case 1: return {q, v, p};
+    case 2: return {p, v, t};
+    case 3: return {p, q, v};
+    case 4: return {t, p, v};
+    default: return {v, p, q};
+  }
+}
+
+}  // namespace mtlsplit::data

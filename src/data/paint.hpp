@@ -1,0 +1,58 @@
+// Tiny software rasteriser used by the synthetic dataset generators.
+// Operates on one CHW float image (values in [0, 1]).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::data {
+
+/// A mutable view over one CHW image inside a larger tensor.
+class Canvas {
+ public:
+  Canvas(float* data, int64_t channels, int64_t height, int64_t width)
+      : data_(data), c_(channels), h_(height), w_(width) {
+    check_arg(data != nullptr && channels > 0 && height > 0 && width > 0,
+              "Canvas: bad geometry");
+  }
+
+  int64_t height() const { return h_; }
+  int64_t width() const { return w_; }
+  int64_t channels() const { return c_; }
+
+  /// Sets pixel (y, x) to the rgb colour; ignores out-of-bounds.
+  void set(int64_t y, int64_t x, float r, float g, float b);
+  /// Blends the rgb colour over pixel (y, x) with weight alpha in [0,1].
+  void blend(int64_t y, int64_t x, float r, float g, float b, float alpha);
+
+  void fill(float r, float g, float b);
+  void fill_rows(int64_t y0, int64_t y1, float r, float g, float b);
+  void fill_rect(int64_t y0, int64_t x0, int64_t y1, int64_t x1, float r,
+                 float g, float b);
+  /// Filled circle centred at (cy, cx).
+  void fill_circle(double cy, double cx, double radius, float r, float g,
+                   float b);
+  /// Filled axis-aligned square of half-extent @p half rotated by @p angle
+  /// radians (covers both "square" and "diamond" shapes).
+  void fill_rot_square(double cy, double cx, double half, double angle,
+                       float r, float g, float b);
+  /// Filled upward triangle with circumradius @p radius rotated by @p angle.
+  void fill_triangle(double cy, double cx, double radius, double angle,
+                     float r, float g, float b);
+  /// 1-pixel-thick line segment.
+  void draw_line(double y0, double x0, double y1, double x1, float r, float g,
+                 float b);
+
+ private:
+  float* data_;
+  int64_t c_, h_, w_;
+};
+
+/// HSV (h in [0,1), s,v in [0,1]) to RGB.
+struct Rgb {
+  float r = 0, g = 0, b = 0;
+};
+Rgb hsv_to_rgb(float h, float s, float v);
+
+}  // namespace mtlsplit::data

@@ -1,0 +1,94 @@
+#include "data/shapes3d.hpp"
+
+#include "data/noise.hpp"
+#include "data/paint.hpp"
+
+namespace mtlsplit::data {
+
+namespace {
+
+void render_scene(Canvas& cv, const int64_t* factors, Rng& jitter) {
+  const auto fh = static_cast<float>(factors[0]);
+  const auto wh = static_cast<float>(factors[1]);
+  const auto oh = static_cast<float>(factors[2]);
+  const auto scale = factors[3];
+  const auto shape = factors[4];
+  const auto orient = factors[5];
+  const int64_t h = cv.height(), w = cv.width();
+
+  // Wall occupies the upper ~2/3, floor the rest (as in the source scenes).
+  const Rgb wall = hsv_to_rgb(wh / 8.0f, 0.6f, 0.7f);
+  const Rgb floor = hsv_to_rgb(fh / 8.0f, 0.6f, 0.5f);
+  const int64_t horizon = 2 * h / 3;
+  cv.fill_rows(0, horizon, wall.r, wall.g, wall.b);
+  cv.fill_rows(horizon, h, floor.r, floor.g, floor.b);
+
+  // Object: size grows with the scale factor; small positional jitter keeps
+  // the tasks from degenerating into single-pixel lookups.
+  const Rgb oc = hsv_to_rgb(oh / 8.0f, 0.9f, 0.9f);
+  // Radii span ~15-42 % of the frame: even the smallest object covers a
+  // few pixels at 16x16 so its silhouette class stays decodable.
+  const double min_r = static_cast<double>(w) * 0.15;
+  const double max_r = static_cast<double>(w) * 0.42;
+  const double radius =
+      min_r + (max_r - min_r) * static_cast<double>(scale) / 7.0;
+  const double cy = static_cast<double>(horizon) + jitter.uniform(-1.0f, 1.0f);
+  const double cx = static_cast<double>(w) / 2.0 + jitter.uniform(-1.0f, 1.0f);
+  const double angle =
+      static_cast<double>(orient) * 0.19634954084936207;  // pi/16 steps
+
+  switch (shape) {
+    case 0:  // cube -> square
+      cv.fill_rot_square(cy, cx, radius * 0.8, angle, oc.r, oc.g, oc.b);
+      break;
+    case 1:  // sphere -> circle
+      cv.fill_circle(cy, cx, radius * 0.9, oc.r, oc.g, oc.b);
+      break;
+    case 2:  // cylinder -> tall rotated rectangle approximated by two squares
+      cv.fill_rot_square(cy - radius * 0.45, cx, radius * 0.55, angle, oc.r,
+                         oc.g, oc.b);
+      cv.fill_rot_square(cy + radius * 0.45, cx, radius * 0.55, angle, oc.r,
+                         oc.g, oc.b);
+      break;
+    default:  // capsule -> triangle
+      cv.fill_triangle(cy, cx, radius, angle, oc.r, oc.g, oc.b);
+      break;
+  }
+}
+
+}  // namespace
+
+MultiTaskDataset make_shapes3d(const Shapes3dConfig& cfg) {
+  check_arg(cfg.count > 0, "make_shapes3d: count must be positive");
+  check_arg(cfg.image_size >= 8, "make_shapes3d: image too small");
+  Rng rng(cfg.seed);
+  const int64_t hw = cfg.image_size;
+  Tensor images({cfg.count, 3, hw, hw});
+  std::vector<std::vector<int64_t>> labels(6);
+  for (auto& l : labels) l.reserve(static_cast<size_t>(cfg.count));
+
+  for (int64_t i = 0; i < cfg.count; ++i) {
+    int64_t factors[6];
+    for (int j = 0; j < 6; ++j) {
+      factors[j] = rng.randint(0, kShapes3dClasses[j] - 1);
+      labels[static_cast<size_t>(j)].push_back(factors[j]);
+    }
+    Canvas cv(images.data() + i * 3 * hw * hw, 3, hw, hw);
+    render_scene(cv, factors, rng);
+  }
+  if (cfg.noise_frac > 0.0f) salt_and_pepper(images, cfg.noise_frac, rng);
+
+  std::vector<TaskSpec> tasks = {
+      {"floor_hue", kShapes3dClasses[0]}, {"wall_hue", kShapes3dClasses[1]},
+      {"object_hue", kShapes3dClasses[2]}, {"scale", kShapes3dClasses[3]},
+      {"shape", kShapes3dClasses[4]},      {"orientation", kShapes3dClasses[5]}};
+  return MultiTaskDataset(std::move(images), std::move(labels),
+                          std::move(tasks));
+}
+
+MultiTaskDataset make_shapes3d_t1t2(const Shapes3dConfig& cfg) {
+  return make_shapes3d(cfg).select_tasks(
+      {kShapes3dScaleTask, kShapes3dShapeTask});
+}
+
+}  // namespace mtlsplit::data

@@ -1,0 +1,40 @@
+// Procedural stand-in for DeepMind's 3D Shapes dataset (Burgess & Kim).
+//
+// The real dataset renders a room scene from 6 independent generative
+// factors: floor hue, wall hue, object hue, scale, shape, orientation.
+// This generator reproduces the same generative structure as a 2-d render:
+// floor band + wall band coloured by their hues, and a central object whose
+// colour / size / silhouette / rotation encode the remaining factors.
+//
+// Table 1 uses T1 = object scale (8 classes) and T2 = object shape
+// (4 classes); all six factors are emitted so other task subsets can be
+// studied.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::data {
+
+struct Shapes3dConfig {
+  int64_t count = 2000;
+  int64_t image_size = 20;
+  /// Salt-and-pepper pixel fraction; the paper uses 0.15 (§4 "Datasets").
+  float noise_frac = 0.15f;
+  uint64_t seed = 1;
+};
+
+/// Factor cardinalities, in task order:
+/// floor hue, wall hue, object hue, scale, shape, orientation.
+inline constexpr int64_t kShapes3dClasses[6] = {8, 8, 8, 8, 4, 8};
+inline constexpr size_t kShapes3dScaleTask = 3;  ///< T1 of Table 1
+inline constexpr size_t kShapes3dShapeTask = 4;  ///< T2 of Table 1
+
+/// Generates the full 6-task dataset.
+MultiTaskDataset make_shapes3d(const Shapes3dConfig& cfg);
+
+/// Convenience: only T1 = scale (8 classes) and T2 = shape (4 classes),
+/// the Table 1 configuration.
+MultiTaskDataset make_shapes3d_t1t2(const Shapes3dConfig& cfg);
+
+}  // namespace mtlsplit::data

@@ -1,0 +1,39 @@
+#include "models/backbone.hpp"
+
+namespace mtlsplit::models {
+
+std::string backbone_name(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kVgg16:
+      return "VGG16";
+    case BackboneKind::kMobileNetV3:
+      return "MobileNetV3";
+    case BackboneKind::kEfficientNet:
+      return "EfficientNet";
+  }
+  throw std::invalid_argument("backbone_name: unknown kind");
+}
+
+std::unique_ptr<nn::Sequential> build_backbone(const BackboneConfig& cfg,
+                                               Rng& rng) {
+  check_arg(cfg.in_channels > 0, "build_backbone: bad channel count");
+  switch (cfg.kind) {
+    case BackboneKind::kVgg16:
+      return build_vgg16(cfg.scale, cfg.in_channels, rng);
+    case BackboneKind::kMobileNetV3:
+      return build_mobilenet_v3(cfg.scale, cfg.in_channels, rng);
+    case BackboneKind::kEfficientNet:
+      return build_efficientnet(cfg.scale, cfg.in_channels, rng);
+  }
+  throw std::invalid_argument("build_backbone: unknown kind");
+}
+
+int64_t backbone_feature_dim(const nn::Sequential& backbone,
+                             int64_t in_channels, int64_t height,
+                             int64_t width) {
+  const Shape out = backbone.output_shape({1, in_channels, height, width});
+  check_arg(out.size() == 2, "backbone_feature_dim: backbone must flatten");
+  return out[1];
+}
+
+}  // namespace mtlsplit::models

@@ -1,0 +1,63 @@
+// Backbone factory.
+//
+// The paper evaluates three shared backbones M_b (§4 "Models details"):
+// VGG16, MobileNetV3 and EfficientNet. Each family is provided at two
+// scales:
+//
+//  * kFull — the paper-scale architecture (VGG16 features, MobileNetV3-Small
+//    features, EfficientNet-B0 features). Used by the analytic profiler for
+//    Table 4 and the LoC/RoC analyses; too slow to *train* on this repo's
+//    single-core CI budget.
+//  * kEdge — a CPU-trainable variant preserving each family's architectural
+//    idioms (see DESIGN.md §2) for the accuracy experiments (Tables 1-3).
+//
+// A backbone is an nn::Sequential ending in Flatten, so its output is the
+// flattened shared representation Z_b of paper Eq. (2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::models {
+
+enum class BackboneKind { kVgg16, kMobileNetV3, kEfficientNet };
+enum class BackboneScale { kEdge, kFull };
+
+struct BackboneConfig {
+  BackboneKind kind = BackboneKind::kMobileNetV3;
+  BackboneScale scale = BackboneScale::kEdge;
+  int64_t in_channels = 3;
+};
+
+/// Human-readable family name as printed in the paper's tables.
+std::string backbone_name(BackboneKind kind);
+
+/// All three families, in table order.
+inline constexpr BackboneKind kAllBackbones[] = {
+    BackboneKind::kVgg16, BackboneKind::kMobileNetV3,
+    BackboneKind::kEfficientNet};
+
+/// Builds a backbone; weights are drawn from @p rng.
+std::unique_ptr<nn::Sequential> build_backbone(const BackboneConfig& cfg,
+                                               Rng& rng);
+
+/// Flattened feature dimension |Z_b| for one sample of size
+/// [in_channels, height, width].
+int64_t backbone_feature_dim(const nn::Sequential& backbone,
+                             int64_t in_channels, int64_t height,
+                             int64_t width);
+
+// Family-specific builders (used by build_backbone; exposed for tests).
+std::unique_ptr<nn::Sequential> build_vgg16(BackboneScale scale,
+                                            int64_t in_channels, Rng& rng);
+std::unique_ptr<nn::Sequential> build_mobilenet_v3(BackboneScale scale,
+                                                   int64_t in_channels,
+                                                   Rng& rng);
+std::unique_ptr<nn::Sequential> build_efficientnet(BackboneScale scale,
+                                                   int64_t in_channels,
+                                                   Rng& rng);
+
+}  // namespace mtlsplit::models

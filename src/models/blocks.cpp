@@ -1,0 +1,73 @@
+#include "models/blocks.hpp"
+
+#include "nn/squeeze_excite.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit::models {
+
+nn::ModulePtr make_activation(ActKind kind) {
+  switch (kind) {
+    case ActKind::kReLU:
+      return std::make_unique<nn::ReLU>();
+    case ActKind::kHardSwish:
+      return std::make_unique<nn::HardSwish>();
+    case ActKind::kSiLU:
+      return std::make_unique<nn::SiLU>();
+  }
+  throw std::invalid_argument("make_activation: unknown kind");
+}
+
+void add_conv_bn_act(nn::Sequential& seq, int64_t in_c, int64_t out_c,
+                     int64_t kernel, int64_t stride, int64_t pad,
+                     ActKind act, Rng& rng) {
+  seq.emplace<nn::Conv2d>(in_c, out_c, kernel, stride, pad, rng,
+                          /*with_bias=*/false);
+  seq.emplace<nn::BatchNorm2d>(out_c);
+  seq.add(make_activation(act));
+}
+
+MBConv::MBConv(const MBConvConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      residual_(cfg.stride == 1 && cfg.in_c == cfg.out_c) {
+  check_arg(cfg.in_c > 0 && cfg.exp_c > 0 && cfg.out_c > 0,
+            "MBConv: bad channel configuration");
+  check_arg(cfg.exp_c >= cfg.in_c, "MBConv: expansion narrower than input");
+  check_arg(cfg.kernel % 2 == 1, "MBConv: kernel must be odd");
+
+  if (cfg.exp_c != cfg.in_c)
+    add_conv_bn_act(path_, cfg.in_c, cfg.exp_c, 1, 1, 0, cfg.act, rng);
+  path_.emplace<nn::DepthwiseConv2d>(cfg.exp_c, cfg.kernel, cfg.stride,
+                                     cfg.kernel / 2, rng, /*with_bias=*/false);
+  path_.emplace<nn::BatchNorm2d>(cfg.exp_c);
+  path_.add(make_activation(cfg.act));
+  if (cfg.use_se)
+    path_.emplace<nn::SqueezeExcite>(cfg.exp_c, cfg.se_reduction, rng);
+  // Linear projection: conv + BN, no activation (inverted-residual design).
+  path_.emplace<nn::Conv2d>(cfg.exp_c, cfg.out_c, 1, 1, 0, rng,
+                            /*with_bias=*/false);
+  path_.emplace<nn::BatchNorm2d>(cfg.out_c);
+}
+
+Tensor MBConv::forward(const Tensor& x) {
+  Tensor y = path_.forward(x);
+  if (residual_) ops::add_(y, x);
+  return y;
+}
+
+Tensor MBConv::backward(const Tensor& grad_out) {
+  Tensor g = path_.backward(grad_out);
+  if (residual_) ops::add_(g, grad_out);
+  return g;
+}
+
+Shape MBConv::output_shape(const Shape& in) const {
+  return path_.output_shape(in);
+}
+
+int64_t MBConv::activation_elems(const Shape& in) const {
+  int64_t total = path_.activation_elems(in);
+  if (residual_) total += mtlsplit::numel(output_shape(in));
+  return total;
+}
+
+}  // namespace mtlsplit::models

@@ -1,0 +1,69 @@
+// Building blocks shared by the backbone families.
+//
+// MBConv is the inverted-residual block of MobileNetV2/V3 and EfficientNet:
+//   1x1 expand conv (+BN +act)  ->  KxK depthwise (+BN +act)
+//   -> optional squeeze-excite  ->  1x1 project conv (+BN)
+// with an identity skip when stride == 1 and in_c == out_c.
+// MobileNetV3 instantiates it with ReLU/HardSwish and selective SE;
+// EfficientNet with SiLU and SE everywhere.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/module.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::models {
+
+enum class ActKind { kReLU, kHardSwish, kSiLU };
+
+/// Fresh activation module of the given kind.
+nn::ModulePtr make_activation(ActKind kind);
+
+/// Appends Conv(k,s,p, no bias) + BatchNorm + activation to @p seq.
+void add_conv_bn_act(nn::Sequential& seq, int64_t in_c, int64_t out_c,
+                     int64_t kernel, int64_t stride, int64_t pad,
+                     ActKind act, Rng& rng);
+
+struct MBConvConfig {
+  int64_t in_c = 0;
+  int64_t exp_c = 0;   ///< expanded (hidden) channels; == in_c disables expand
+  int64_t out_c = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  bool use_se = false;
+  int64_t se_reduction = 4;
+  ActKind act = ActKind::kReLU;
+};
+
+class MBConv final : public nn::Module {
+ public:
+  MBConv(const MBConvConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Parameter*> parameters() override { return path_.parameters(); }
+  std::vector<Tensor*> buffers() override { return path_.buffers(); }
+  Shape output_shape(const Shape& in) const override;
+  int64_t activation_elems(const Shape& in) const override;
+  int64_t flops(const Shape& in) const override {
+    return path_.flops(in) +
+           (residual_ ? mtlsplit::numel(output_shape(in)) : 0);
+  }
+  std::string name() const override { return "MBConv"; }
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    path_.set_training(training);
+  }
+
+  bool has_residual() const { return residual_; }
+
+ private:
+  MBConvConfig cfg_;
+  nn::Sequential path_;
+  bool residual_;
+};
+
+}  // namespace mtlsplit::models

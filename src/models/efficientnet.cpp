@@ -1,0 +1,79 @@
+// EfficientNet-style backbone (Tan & Le).
+//
+// kFull reproduces the EfficientNet-B0 feature extractor: SiLU stem, seven
+// MBConv stages with squeeze-excite everywhere and the published
+// (expansion, channels, repeats, stride, kernel) table, then a 1x1 conv to
+// 1280 channels (~4 M parameters, matching Table 4's "4 M").
+//
+// kEdge keeps MBConv + SE + SiLU at widths sized for ~20x20 single-core
+// training.
+#include "models/backbone.hpp"
+#include "models/blocks.hpp"
+#include "nn/misc_layers.hpp"
+
+namespace mtlsplit::models {
+
+namespace {
+
+struct StageSpec {
+  int64_t expansion, out_c, repeats, stride, kernel;
+};
+
+void add_stages(nn::Sequential& seq, int64_t in_c,
+                const std::vector<StageSpec>& specs, Rng& rng) {
+  int64_t c = in_c;
+  for (const StageSpec& s : specs) {
+    for (int64_t r = 0; r < s.repeats; ++r) {
+      MBConvConfig cfg;
+      cfg.in_c = c;
+      cfg.exp_c = std::max<int64_t>(c * s.expansion, c);
+      cfg.out_c = s.out_c;
+      cfg.kernel = s.kernel;
+      cfg.stride = r == 0 ? s.stride : 1;  // only the first repeat downsamples
+      cfg.use_se = true;
+      // B0 squeezes to in_c / 4 (not exp_c / 4): the SE hidden width is a
+      // quarter of the block's *input* channels.
+      cfg.se_reduction =
+          std::max<int64_t>(1, cfg.exp_c / std::max<int64_t>(1, c / 4));
+      cfg.act = ActKind::kSiLU;
+      seq.emplace<MBConv>(cfg, rng);
+      c = s.out_c;
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_efficientnet(BackboneScale scale,
+                                                   int64_t in_channels,
+                                                   Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  constexpr ActKind SW = ActKind::kSiLU;
+  if (scale == BackboneScale::kFull) {
+    // EfficientNet-B0 feature extractor.
+    add_conv_bn_act(*seq, in_channels, 32, 3, 2, 1, SW, rng);
+    add_stages(*seq, 32,
+               {{1, 16, 1, 1, 3},
+                {6, 24, 2, 2, 3},
+                {6, 40, 2, 2, 5},
+                {6, 80, 3, 2, 3},
+                {6, 112, 3, 1, 5},
+                {6, 192, 4, 2, 5},
+                {6, 320, 1, 1, 3}},
+               rng);
+    add_conv_bn_act(*seq, 320, 1280, 1, 1, 0, SW, rng);
+  } else {
+    add_conv_bn_act(*seq, in_channels, 12, 3, 1, 1, SW, rng);
+    add_stages(*seq, 12,
+               {{1, 12, 1, 1, 3},
+                {4, 16, 1, 2, 3},
+                {4, 20, 1, 2, 5},
+                {4, 28, 2, 2, 3}},
+               rng);
+    add_conv_bn_act(*seq, 28, 80, 1, 1, 0, SW, rng);
+  }
+  seq->emplace<nn::Flatten>();
+  return seq;
+}
+
+}  // namespace mtlsplit::models

@@ -1,0 +1,20 @@
+#include "models/mlp_head.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+
+namespace mtlsplit::models {
+
+std::unique_ptr<nn::Sequential> build_mlp_head(const MlpHeadConfig& cfg,
+                                               Rng& rng) {
+  check_arg(cfg.in_dim > 0, "build_mlp_head: bad input dim");
+  check_arg(cfg.hidden_dim > 0, "build_mlp_head: bad hidden dim");
+  check_arg(cfg.num_classes > 1, "build_mlp_head: need at least 2 classes");
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Linear>(cfg.in_dim, cfg.hidden_dim, rng);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::Linear>(cfg.hidden_dim, cfg.num_classes, rng);
+  return seq;
+}
+
+}  // namespace mtlsplit::models

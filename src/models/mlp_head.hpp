@@ -1,0 +1,21 @@
+// Task-solving head H_j (paper §4 "Models details"): a custom MLP of two
+// linear layers activated by ReLU, mapping the flattened shared feature
+// Z_b to task-j logits. Deployed on the remote server in the SC scenario.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::models {
+
+struct MlpHeadConfig {
+  int64_t in_dim = 0;       ///< |Z_b|
+  int64_t hidden_dim = 64;  ///< width of the single hidden layer
+  int64_t num_classes = 0;  ///< task output classes
+};
+
+/// Builds Linear(in, hidden) -> ReLU -> Linear(hidden, classes).
+std::unique_ptr<nn::Sequential> build_mlp_head(const MlpHeadConfig& cfg,
+                                               Rng& rng);
+
+}  // namespace mtlsplit::models

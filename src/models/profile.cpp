@@ -1,0 +1,79 @@
+#include "models/profile.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mtlsplit::models {
+
+namespace {
+constexpr double kMb = 1024.0 * 1024.0;
+}
+
+double ModelProfile::params_mb() const {
+  return static_cast<double>(total_params) * 4.0 / kMb;
+}
+
+double ModelProfile::forward_backward_mb() const {
+  return static_cast<double>(total_activation_elems) * 4.0 * 2.0 / kMb;
+}
+
+double ModelProfile::input_mb() const {
+  return static_cast<double>(numel(input_shape)) * 4.0 / kMb;
+}
+
+double ModelProfile::estimated_total_mb() const {
+  return input_mb() + params_mb() + forward_backward_mb();
+}
+
+int64_t ModelProfile::output_elems() const { return numel(output_shape); }
+
+double ModelProfile::output_mb() const {
+  return static_cast<double>(output_elems()) * 4.0 / kMb;
+}
+
+ModelProfile profile_model(nn::Sequential& model, const Shape& input_shape) {
+  check_arg(!input_shape.empty(), "profile_model: empty input shape");
+  ModelProfile p;
+  p.input_shape = input_shape;
+  Shape s = input_shape;
+  for (size_t i = 0; i < model.size(); ++i) {
+    nn::Module& layer = model.layer(i);
+    LayerProfile lp;
+    lp.name = layer.name();
+    lp.out_shape = layer.output_shape(s);
+    lp.params = layer.num_params();
+    lp.activation_elems = layer.activation_elems(s);
+    p.total_params += lp.params;
+    p.total_activation_elems += lp.activation_elems;
+    s = lp.out_shape;
+    p.layers.push_back(std::move(lp));
+  }
+  p.output_shape = s;
+  return p;
+}
+
+std::string profile_to_string(const ModelProfile& p) {
+  std::ostringstream os;
+  os << std::left << std::setw(4) << "#" << std::setw(18) << "layer"
+     << std::setw(22) << "output shape" << std::right << std::setw(12)
+     << "params" << std::setw(14) << "activations" << "\n";
+  os << std::string(70, '-') << "\n";
+  for (size_t i = 0; i < p.layers.size(); ++i) {
+    const LayerProfile& lp = p.layers[i];
+    os << std::left << std::setw(4) << i << std::setw(18) << lp.name
+       << std::setw(22) << shape_str(lp.out_shape) << std::right
+       << std::setw(12) << lp.params << std::setw(14) << lp.activation_elems
+       << "\n";
+  }
+  os << std::string(70, '-') << "\n";
+  os << std::fixed << std::setprecision(2);
+  os << "total params:        " << p.total_params << " ("
+     << p.params_mb() << " MB)\n";
+  os << "forward/backward:    " << p.forward_backward_mb() << " MB\n";
+  os << "estimated total:     " << p.estimated_total_mb() << " MB\n";
+  os << "output |Z_b|:        " << p.output_elems() << " ("
+     << p.output_mb() << " MB)\n";
+  return os.str();
+}
+
+}  // namespace mtlsplit::models

@@ -1,0 +1,51 @@
+// Analytic model profiler — the machinery behind Table 4.
+//
+// Propagates an input shape through a model layer by layer, counting
+// parameters and materialised activations without running forward (and
+// therefore without allocating multi-GB activation maps). The reported
+// quantities follow the torchsummary convention the paper's Table 4 uses:
+//
+//   params size (MB)              = #params * 4 bytes
+//   forward/backward pass size    = activation elems * 4 bytes * 2
+//   estimated total size          = input + params + forward/backward
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace mtlsplit::models {
+
+struct LayerProfile {
+  std::string name;
+  Shape out_shape;
+  int64_t params = 0;
+  int64_t activation_elems = 0;
+};
+
+struct ModelProfile {
+  std::vector<LayerProfile> layers;
+  Shape input_shape;
+  Shape output_shape;
+  int64_t total_params = 0;
+  int64_t total_activation_elems = 0;
+
+  double params_mb() const;
+  double forward_backward_mb() const;
+  double input_mb() const;
+  /// torchsummary-style "estimated total size".
+  double estimated_total_mb() const;
+  /// Elements of the final output (|Z_b| when profiling a backbone).
+  int64_t output_elems() const;
+  /// Bytes of the final output at float32.
+  double output_mb() const;
+};
+
+/// Profiles @p model for inputs of @p input_shape (leading dim = batch).
+ModelProfile profile_model(nn::Sequential& model, const Shape& input_shape);
+
+/// Renders the per-layer table as text (for examples / debugging).
+std::string profile_to_string(const ModelProfile& p);
+
+}  // namespace mtlsplit::models

@@ -1,0 +1,68 @@
+// VGG16-style backbone (Simonyan & Zisserman).
+//
+// Plain 3x3 conv + ReLU stacks with 2x2 max-pooling and *no* normalisation
+// layers — the torchvision VGG16 design the paper uses. The absence of
+// normalisation is what makes VGG slow to train from scratch at a small
+// learning rate, the effect behind the dramatic Table 1 STL numbers.
+//
+// kFull: the standard 13-conv feature extractor (64-64 / 128-128 / 256x3 /
+//        512x3 / 512x3, five pools).
+// kEdge: the same 13-conv topology with channels divided by ~8 and only
+//        four pools, sized for ~20x20 inputs on a single CPU core.
+#include "models/backbone.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/misc_layers.hpp"
+#include "nn/pooling.hpp"
+
+namespace mtlsplit::models {
+
+namespace {
+
+void add_vgg_conv(nn::Sequential& seq, int64_t in_c, int64_t out_c, Rng& rng) {
+  seq.emplace<nn::Conv2d>(in_c, out_c, 3, 1, 1, rng, /*with_bias=*/true);
+  seq.emplace<nn::ReLU>();
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_vgg16(BackboneScale scale,
+                                            int64_t in_channels, Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  // Per-stage (channel count, conv count); -1 in pools marks a skipped pool.
+  struct Stage {
+    int64_t channels;
+    int convs;
+    bool pool;
+  };
+  std::vector<Stage> stages;
+  if (scale == BackboneScale::kFull) {
+    stages = {{64, 2, true},
+              {128, 2, true},
+              {256, 3, true},
+              {512, 3, true},
+              {512, 3, true}};
+  } else {
+    // Edge variant keeps the 13-conv topology but pools only three times:
+    // at ~16x16 inputs, five pools would shrink the map to 1x1 mid-network
+    // and zero padding would drown the signal (kaiming assumes full
+    // fan-in, so activations collapse by ~3x per conv at 1x1).
+    stages = {{8, 2, false},
+              {16, 2, true},
+              {32, 3, true},
+              {64, 3, true},
+              {64, 3, false}};
+  }
+  int64_t c = in_channels;
+  for (const Stage& st : stages) {
+    for (int i = 0; i < st.convs; ++i) {
+      add_vgg_conv(*seq, c, st.channels, rng);
+      c = st.channels;
+    }
+    if (st.pool) seq->emplace<nn::MaxPool2d>(2, 2);
+  }
+  seq->emplace<nn::Flatten>();
+  return seq;
+}
+
+}  // namespace mtlsplit::models

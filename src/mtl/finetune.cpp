@@ -1,0 +1,67 @@
+#include "mtl/finetune.hpp"
+
+#include "nn/loss.hpp"
+#include "optim/adamw.hpp"
+
+namespace mtlsplit::core {
+
+TrainHistory finetune_model(MtlSplitModel& model,
+                            const data::MultiTaskDataset& train_set,
+                            const FinetuneConfig& cfg) {
+  check_arg(cfg.epochs > 0, "finetune_model: epochs must be positive");
+  check_arg(cfg.alpha > 0.0f, "finetune_model: alpha must be positive");
+  check_arg(cfg.eta >= 0.0f, "finetune_model: eta must be non-negative");
+  check_arg(cfg.eta <= cfg.alpha,
+            "finetune_model: eta must not exceed alpha (Eq. 6: eta << alpha)");
+  check_arg(static_cast<size_t>(train_set.num_tasks()) == model.num_tasks(),
+            "finetune_model: dataset/model task count mismatch");
+
+  // Group 0: heads at alpha. Group 1: backbone at eta (frozen when eta==0).
+  std::vector<optim::ParamGroup> groups;
+  groups.emplace_back(model.all_head_params(), 1.0f);
+  groups.emplace_back(model.backbone_params(), cfg.eta / cfg.alpha);
+  optim::AdamWConfig oc;
+  oc.lr = cfg.alpha;
+  oc.weight_decay = cfg.weight_decay;
+  optim::AdamW opt(std::move(groups), oc);
+  if (cfg.eta == 0.0f) opt.set_group_frozen(1, true);
+
+  Rng rng(cfg.seed);
+  data::DataLoader loader(train_set, cfg.batch_size, /*shuffle=*/true,
+                          /*drop_last=*/true);
+  model.set_training(true);
+
+  TrainHistory hist;
+  const size_t nt = model.num_tasks();
+  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    loader.reset(rng);
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    std::vector<double> epoch_task_loss(nt, 0.0);
+    int64_t batches = 0;
+    while (loader.next(batch)) {
+      std::vector<Tensor> logits = model.forward(batch.images);
+      std::vector<Tensor> grads(nt);
+      for (size_t j = 0; j < nt; ++j) {
+        nn::LossResult r = nn::cross_entropy(logits[j], batch.labels[j]);
+        epoch_loss += r.loss;
+        epoch_task_loss[j] += r.loss;
+        grads[j] = std::move(r.grad);
+      }
+      model.backward(grads);
+      opt.step();
+      ++batches;
+    }
+    check_arg(batches > 0, "finetune_model: no full batch fits the dataset");
+    hist.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    std::vector<float> tl(nt);
+    for (size_t j = 0; j < nt; ++j)
+      tl[j] = static_cast<float>(epoch_task_loss[j] /
+                                 static_cast<double>(batches));
+    hist.task_loss.push_back(std::move(tl));
+  }
+  return hist;
+}
+
+}  // namespace mtlsplit::core

@@ -1,0 +1,31 @@
+// Fine-tuning (paper §3.3, Eqs. 5-7).
+//
+// After (pre)training, the heads' parameters theta_j are adapted with
+// learning rate alpha while the shared backbone psi is either frozen or
+// updated conservatively with eta << alpha. This is realised with two
+// optimizer parameter groups whose lr_scale ratio is eta/alpha.
+//
+// Typical uses (paper §3.3): boosting task-specific performance, or
+// attaching a brand-new task head to a trained backbone (see
+// examples/finetune_new_task.cpp).
+#pragma once
+
+#include "mtl/trainer.hpp"
+
+namespace mtlsplit::core {
+
+struct FinetuneConfig {
+  int64_t epochs = 5;
+  int64_t batch_size = 32;
+  float alpha = 1e-3f;  ///< head learning rate (Eq. 5)
+  float eta = 1e-5f;    ///< backbone learning rate (Eq. 6); 0 freezes psi
+  float weight_decay = 1e-4f;
+  uint64_t seed = 11;
+};
+
+/// Fine-tunes @p model on @p train_set with the two-rate scheme.
+TrainHistory finetune_model(MtlSplitModel& model,
+                            const data::MultiTaskDataset& train_set,
+                            const FinetuneConfig& cfg);
+
+}  // namespace mtlsplit::core

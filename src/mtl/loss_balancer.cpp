@@ -1,0 +1,40 @@
+#include "mtl/loss_balancer.hpp"
+
+#include <cmath>
+
+namespace mtlsplit::core {
+
+LossBalancer::LossBalancer(LossWeighting strategy, size_t num_tasks,
+                           float s_lr)
+    : strategy_(strategy), s_(num_tasks, 0.0f), s_lr_(s_lr) {
+  check_arg(num_tasks > 0, "LossBalancer: need at least one task");
+  check_arg(s_lr > 0.0f, "LossBalancer: bad s learning rate");
+}
+
+float LossBalancer::weight(size_t j) const {
+  check_bounds(j < s_.size(), "LossBalancer: task out of range");
+  return strategy_ == LossWeighting::kUniform ? 1.0f : std::exp(-s_[j]);
+}
+
+float LossBalancer::total_loss(const std::vector<float>& task_losses) const {
+  check_arg(task_losses.size() == s_.size(),
+            "LossBalancer: loss count mismatch");
+  float total = 0.0f;
+  for (size_t j = 0; j < s_.size(); ++j) {
+    total += weight(j) * task_losses[j];
+    if (strategy_ == LossWeighting::kUncertainty) total += s_[j];
+  }
+  return total;
+}
+
+void LossBalancer::update(const std::vector<float>& task_losses) {
+  if (strategy_ == LossWeighting::kUniform) return;
+  check_arg(task_losses.size() == s_.size(),
+            "LossBalancer: loss count mismatch");
+  for (size_t j = 0; j < s_.size(); ++j) {
+    const float grad = 1.0f - std::exp(-s_[j]) * task_losses[j];
+    s_[j] -= s_lr_ * grad;
+  }
+}
+
+}  // namespace mtlsplit::core

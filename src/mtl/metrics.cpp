@@ -1,0 +1,46 @@
+#include "mtl/metrics.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit::core {
+
+double accuracy(const Tensor& logits, std::span<const int64_t> targets) {
+  check_arg(logits.dim() == 2, "accuracy: logits must be [N, C]");
+  check_arg(static_cast<int64_t>(targets.size()) == logits.size(0),
+            "accuracy: target count mismatch");
+  const std::vector<int64_t> pred = ops::argmax_rows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == targets[i]) ++correct;
+  return pred.empty() ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(pred.size());
+}
+
+std::vector<int64_t> confusion_matrix(const Tensor& logits,
+                                      std::span<const int64_t> targets,
+                                      int64_t num_classes) {
+  check_arg(logits.dim() == 2 && logits.size(1) == num_classes,
+            "confusion_matrix: logits/class mismatch");
+  check_arg(static_cast<int64_t>(targets.size()) == logits.size(0),
+            "confusion_matrix: target count mismatch");
+  std::vector<int64_t> cm(static_cast<size_t>(num_classes * num_classes), 0);
+  const std::vector<int64_t> pred = ops::argmax_rows(logits);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const int64_t t = targets[i];
+    check_arg(t >= 0 && t < num_classes, "confusion_matrix: bad target");
+    cm[static_cast<size_t>(t * num_classes + pred[i])]++;
+  }
+  return cm;
+}
+
+void AccuracyMeter::update(const Tensor& logits,
+                           std::span<const int64_t> targets) {
+  const std::vector<int64_t> pred = ops::argmax_rows(logits);
+  check_arg(pred.size() == targets.size(), "AccuracyMeter: size mismatch");
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == targets[i]) ++correct_;
+  total_ += static_cast<int64_t>(pred.size());
+}
+
+}  // namespace mtlsplit::core

@@ -1,0 +1,37 @@
+// Classification metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::core {
+
+/// Fraction of rows of @p logits whose argmax equals the target.
+double accuracy(const Tensor& logits, std::span<const int64_t> targets);
+
+/// Row-major confusion matrix [num_classes x num_classes];
+/// entry (t, p) counts samples of true class t predicted as p.
+std::vector<int64_t> confusion_matrix(const Tensor& logits,
+                                      std::span<const int64_t> targets,
+                                      int64_t num_classes);
+
+/// Streaming accuracy accumulator for batched evaluation.
+class AccuracyMeter {
+ public:
+  void update(const Tensor& logits, std::span<const int64_t> targets);
+  double value() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+  }
+  int64_t count() const { return total_; }
+  void reset() { correct_ = total_ = 0; }
+
+ private:
+  int64_t correct_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace mtlsplit::core

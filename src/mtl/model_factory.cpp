@@ -1,0 +1,40 @@
+#include "mtl/model_factory.hpp"
+
+#include "models/mlp_head.hpp"
+
+namespace mtlsplit::core {
+
+std::unique_ptr<MtlSplitModel> make_mtl_model(
+    const ModelFactoryConfig& cfg, const std::vector<data::TaskSpec>& tasks,
+    Rng& rng) {
+  check_arg(!tasks.empty(), "make_mtl_model: no tasks");
+  check_arg(cfg.image_shape.size() == 3,
+            "make_mtl_model: image shape must be {C,H,W}");
+  models::BackboneConfig bc;
+  bc.kind = cfg.backbone;
+  bc.scale = cfg.scale;
+  bc.in_channels = cfg.image_shape[0];
+  auto backbone = models::build_backbone(bc, rng);
+  const int64_t zb = models::backbone_feature_dim(
+      *backbone, cfg.image_shape[0], cfg.image_shape[1], cfg.image_shape[2]);
+
+  std::vector<std::unique_ptr<nn::Sequential>> heads;
+  heads.reserve(tasks.size());
+  for (const data::TaskSpec& t : tasks) {
+    models::MlpHeadConfig hc;
+    hc.in_dim = zb;
+    hc.hidden_dim = cfg.head_hidden_dim;
+    hc.num_classes = t.num_classes;
+    heads.push_back(models::build_mlp_head(hc, rng));
+  }
+  return std::make_unique<MtlSplitModel>(std::move(backbone),
+                                         std::move(heads), tasks);
+}
+
+std::unique_ptr<MtlSplitModel> make_stl_model(const ModelFactoryConfig& cfg,
+                                              const data::TaskSpec& task,
+                                              Rng& rng) {
+  return make_mtl_model(cfg, {task}, rng);
+}
+
+}  // namespace mtlsplit::core

@@ -1,0 +1,27 @@
+// Convenience builders wiring backbones + MLP heads into MtlSplitModels.
+#pragma once
+
+#include "models/backbone.hpp"
+#include "mtl/mtl_model.hpp"
+
+namespace mtlsplit::core {
+
+struct ModelFactoryConfig {
+  models::BackboneKind backbone = models::BackboneKind::kMobileNetV3;
+  models::BackboneScale scale = models::BackboneScale::kEdge;
+  Shape image_shape = {3, 20, 20};  ///< {C, H, W}
+  int64_t head_hidden_dim = 64;
+};
+
+/// One shared backbone + one MLP head per task (the MTL-Split design).
+std::unique_ptr<MtlSplitModel> make_mtl_model(
+    const ModelFactoryConfig& cfg, const std::vector<data::TaskSpec>& tasks,
+    Rng& rng);
+
+/// Single-task variant (the STL baseline of Tables 1-3): same backbone
+/// family, one head.
+std::unique_ptr<MtlSplitModel> make_stl_model(const ModelFactoryConfig& cfg,
+                                              const data::TaskSpec& task,
+                                              Rng& rng);
+
+}  // namespace mtlsplit::core

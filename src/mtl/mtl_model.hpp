@@ -1,0 +1,89 @@
+// MtlSplitModel — the paper's proposed architecture (Fig. 1).
+//
+// A shared backbone M_b(x; psi) runs on the edge device and emits the
+// flattened shared representation Z_b (Eq. 2). N task-solving heads
+// H_j(Z_b; theta_j) run on the remote device and emit per-task logits
+// (Eq. 3). Training backpropagates the summed task losses (Eq. 4): each
+// head's input gradient is accumulated into one dL_total/dZ_b, which then
+// flows through the backbone — that sum is exactly where the MTL coupling
+// of the shared parameters happens.
+//
+// The model supports two execution styles:
+//  * forward()/backward()      — monolithic, for training;
+//  * forward_backbone() + forward_heads() — split, for the SC deployment
+//    simulators, which serialise Z_b across a channel between the two.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace mtlsplit::core {
+
+class MtlSplitModel {
+ public:
+  /// @p backbone must end with Flatten (output [N, D]); each head must
+  /// accept [N, D]. Task specs give names/class counts for reporting.
+  MtlSplitModel(std::unique_ptr<nn::Sequential> backbone,
+                std::vector<std::unique_ptr<nn::Sequential>> heads,
+                std::vector<data::TaskSpec> tasks);
+
+  size_t num_tasks() const { return heads_.size(); }
+  const data::TaskSpec& task(size_t j) const {
+    check_bounds(j < tasks_.size(), "MtlSplitModel: task out of range");
+    return tasks_[j];
+  }
+
+  /// Full forward: x -> Z_b -> all task logits. Caches Z_b for backward.
+  std::vector<Tensor> forward(const Tensor& x);
+
+  /// Backward pass for Eq. 4: @p grad_logits holds dL_j/d(logits_j) per
+  /// task (already weighted). Accumulates parameter gradients in heads and
+  /// backbone and returns dL_total/dx.
+  Tensor backward(const std::vector<Tensor>& grad_logits);
+
+  /// Edge-side computation only: x -> Z_b (Eq. 2).
+  Tensor forward_backbone(const Tensor& x);
+  /// Server-side computation only: Z_b -> logits for every task (Eq. 3).
+  std::vector<Tensor> forward_heads(const Tensor& zb);
+  /// Server-side computation for a single task.
+  Tensor forward_head(const Tensor& zb, size_t j);
+
+  /// Shared parameters psi.
+  std::vector<nn::Parameter*> backbone_params() {
+    return backbone_->parameters();
+  }
+  /// Task parameters theta_j.
+  std::vector<nn::Parameter*> head_params(size_t j);
+  /// All head parameters, concatenated.
+  std::vector<nn::Parameter*> all_head_params();
+  /// psi followed by all theta_j.
+  std::vector<nn::Parameter*> all_params();
+  /// Persistent non-learnable state (BatchNorm running statistics),
+  /// backbone first then heads — pair with all_params() for checkpoints.
+  std::vector<Tensor*> all_buffers();
+
+  void set_training(bool training);
+  void zero_grad();
+
+  nn::Sequential& backbone() { return *backbone_; }
+  nn::Sequential& head(size_t j);
+
+  /// |Z_b| for one image of shape {C, H, W}.
+  int64_t zb_dim(const Shape& image_shape) const;
+
+ private:
+  std::unique_ptr<nn::Sequential> backbone_;
+  std::vector<std::unique_ptr<nn::Sequential>> heads_;
+  std::vector<data::TaskSpec> tasks_;
+};
+
+/// Builder: one backbone + one MLP head per task, dimensions derived from
+/// the image shape.
+struct MtlSplitModelConfig {
+  int64_t head_hidden_dim = 64;
+};
+
+}  // namespace mtlsplit::core

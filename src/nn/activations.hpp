@@ -1,0 +1,77 @@
+// Elementwise activation layers.
+//
+// ReLU           — VGG-style nets and the MLP task heads (paper §4).
+// HardSigmoid    — MobileNetV3 squeeze-excite gate.
+// HardSwish      — MobileNetV3 trunk activation.
+// SiLU (swish)   — EfficientNet trunk activation.
+// Sigmoid        — general-purpose gate.
+//
+// Every activation preserves shape; backward() multiplies the incoming
+// gradient by the activation derivative evaluated at the cached input.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace mtlsplit::nn {
+
+/// Common base: caches the forward input, applies f / f' elementwise.
+class Activation : public Module {
+ public:
+  Tensor forward(const Tensor& x) final;
+  Tensor backward(const Tensor& grad_out) final;
+  Shape output_shape(const Shape& in) const final { return in; }
+
+ protected:
+  virtual float f(float x) const = 0;
+  virtual float df(float x) const = 0;
+
+ private:
+  Tensor cached_input_;
+};
+
+class ReLU final : public Activation {
+ public:
+  std::string name() const override { return "ReLU"; }
+
+ protected:
+  float f(float x) const override { return x > 0.0f ? x : 0.0f; }
+  float df(float x) const override { return x > 0.0f ? 1.0f : 0.0f; }
+};
+
+class Sigmoid final : public Activation {
+ public:
+  std::string name() const override { return "Sigmoid"; }
+
+ protected:
+  float f(float x) const override;
+  float df(float x) const override;
+};
+
+class HardSigmoid final : public Activation {
+ public:
+  std::string name() const override { return "HardSigmoid"; }
+
+ protected:
+  float f(float x) const override;
+  float df(float x) const override;
+};
+
+class HardSwish final : public Activation {
+ public:
+  std::string name() const override { return "HardSwish"; }
+
+ protected:
+  float f(float x) const override;
+  float df(float x) const override;
+};
+
+class SiLU final : public Activation {
+ public:
+  std::string name() const override { return "SiLU"; }
+
+ protected:
+  float f(float x) const override;
+  float df(float x) const override;
+};
+
+}  // namespace mtlsplit::nn

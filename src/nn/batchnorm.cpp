@@ -1,0 +1,129 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace mtlsplit::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("gamma", Tensor({channels}, 1.0f)),
+      beta_("beta", Tensor({channels}, 0.0f)),
+      running_mean_({channels}, 0.0f),
+      running_var_({channels}, 1.0f) {
+  check_arg(channels > 0, "BatchNorm2d: channels must be positive");
+  check_arg(momentum > 0.0f && momentum <= 1.0f, "BatchNorm2d: bad momentum");
+  check_arg(eps > 0.0f, "BatchNorm2d: eps must be positive");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  check_arg(x.dim() == 4 && x.size(1) == channels_,
+            msg_cat("BatchNorm2d: expected [N, ", channels_, ", H, W], got ",
+                    shape_str(x.shape())));
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const int64_t plane = h * w;
+  const int64_t count = n * plane;
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+
+  if (training_) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_ = Tensor({channels_});
+    cached_count_ = count;
+    float* pxh = cached_xhat_.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = px + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j) {
+          sum += p[j];
+          sq += static_cast<double>(p[j]) * p[j];
+        }
+      }
+      const float mean = static_cast<float>(sum / static_cast<double>(count));
+      const float var = static_cast<float>(
+          sq / static_cast<double>(count) - static_cast<double>(mean) * mean);
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      cached_inv_std_[c] = inv_std;
+      const float g = gamma_.value[c], b = beta_.value[c];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = px + (i * channels_ + c) * plane;
+        float* pxh_c = pxh + (i * channels_ + c) * plane;
+        float* po_c = po + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j) {
+          const float xh = (p[j] - mean) * inv_std;
+          pxh_c[j] = xh;
+          po_c[j] = g * xh + b;
+        }
+      }
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      // PyTorch convention: running variance uses the unbiased estimator.
+      const float unbiased =
+          count > 1 ? var * static_cast<float>(count) /
+                          static_cast<float>(count - 1)
+                    : var;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * unbiased;
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float mean = running_mean_[c];
+      const float g = gamma_.value[c], b = beta_.value[c];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = px + (i * channels_ + c) * plane;
+        float* po_c = po + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j)
+          po_c[j] = g * (p[j] - mean) * inv_std + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  check_arg(training_, "BatchNorm2d::backward requires training mode");
+  check_arg(grad_out.shape() == cached_xhat_.shape(),
+            "BatchNorm2d::backward: gradient shape mismatch");
+  const int64_t n = grad_out.size(0), h = grad_out.size(2),
+                w = grad_out.size(3);
+  const int64_t plane = h * w;
+  const float count = static_cast<float>(cached_count_);
+  Tensor grad_in(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pxh = cached_xhat_.data();
+  float* pgi = grad_in.data();
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    // Accumulate sum(g) and sum(g * xhat) for the mean/var back-terms.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = pg + (i * channels_ + c) * plane;
+      const float* xh = pxh + (i * channels_ + c) * plane;
+      for (int64_t j = 0; j < plane; ++j) {
+        sum_g += g[j];
+        sum_gx += static_cast<double>(g[j]) * xh[j];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gx);
+    beta_.grad[c] += static_cast<float>(sum_g);
+
+    const float gamma = gamma_.value[c];
+    const float inv_std = cached_inv_std_[c];
+    const float mean_g = static_cast<float>(sum_g) / count;
+    const float mean_gx = static_cast<float>(sum_gx) / count;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = pg + (i * channels_ + c) * plane;
+      const float* xh = pxh + (i * channels_ + c) * plane;
+      float* gi = pgi + (i * channels_ + c) * plane;
+      for (int64_t j = 0; j < plane; ++j)
+        gi[j] = gamma * inv_std * (g[j] - mean_g - xh[j] * mean_gx);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace mtlsplit::nn

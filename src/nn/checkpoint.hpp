@@ -1,0 +1,49 @@
+// Weight checkpointing: save/restore the parameters of a model to a file.
+//
+// The deployment story of MTL-Split depends on moving weights around —
+// the backbone image is flashed to the edge device, head weights live on
+// the server and are re-shipped after fine-tuning (paper §3.3). The
+// format reuses the CRC-checked tensor wire encoding, one record per
+// parameter:
+//
+//   magic   u32 'MTCK'
+//   count   u32
+//   records: name_len u16, name bytes, wire-format tensor
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mtlsplit::nn {
+
+/// Writes all parameter values (and optionally non-learnable buffers such
+/// as BatchNorm running statistics) to @p path. Throws std::runtime_error
+/// on I/O failure.
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path,
+                     const std::vector<Tensor*>& buffers = {});
+
+/// Restores parameter values (and buffers) from @p path. Parameters are
+/// matched by position; names and shapes must agree with the file (throws
+/// std::invalid_argument otherwise). Gradients are zeroed.
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path,
+                     const std::vector<Tensor*>& buffers = {});
+
+/// Full state of one module: parameters + buffers.
+void save_module(Module& m, const std::string& path);
+void load_module(Module& m, const std::string& path);
+
+/// Serialises state into an in-memory blob (same format as the file).
+std::vector<uint8_t> parameters_to_bytes(
+    const std::vector<Parameter*>& params,
+    const std::vector<Tensor*>& buffers = {});
+
+/// Inverse of parameters_to_bytes.
+void parameters_from_bytes(const std::vector<Parameter*>& params,
+                           const std::vector<uint8_t>& bytes,
+                           const std::vector<Tensor*>& buffers = {});
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,244 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit::nn {
+
+namespace {
+
+ConvGeom make_geom(int64_t c, int64_t h, int64_t w, int64_t k, int64_t stride,
+                   int64_t pad) {
+  ConvGeom g;
+  g.in_c = c;
+  g.in_h = h;
+  g.in_w = w;
+  g.kernel_h = k;
+  g.kernel_w = k;
+  g.stride = stride;
+  g.pad = pad;
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, Rng& rng, bool with_bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      with_bias_(with_bias) {
+  check_arg(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 &&
+                pad >= 0,
+            "Conv2d: bad configuration");
+  const int64_t fan_in = in_c_ * kernel_ * kernel_;
+  Tensor w({out_c_, fan_in});
+  kaiming_normal(w, fan_in, rng);
+  weight_ = Parameter("weight", std::move(w));
+  if (with_bias_) bias_ = Parameter("bias", Tensor({out_c_}));
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  check_arg(x.dim() == 4 && x.size(1) == in_c_,
+            msg_cat("Conv2d: expected [N, ", in_c_, ", H, W], got ",
+                    shape_str(x.shape())));
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeom g = make_geom(in_c_, h, w, kernel_, stride_, pad_);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  cached_input_ = x;
+
+  Tensor out({n, out_c_, oh, ow});
+  Tensor cols;
+  const int64_t in_stride = in_c_ * h * w;
+  const int64_t out_stride = out_c_ * oh * ow;
+  for (int64_t i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_stride, g, cols);
+    Tensor y = ops::matmul(weight_.value, cols);  // [out_c, oh*ow]
+    std::copy(y.data(), y.data() + out_stride, out.data() + i * out_stride);
+  }
+  if (with_bias_) {
+    float* po = out.data();
+    const float* pb = bias_.value.data();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t c = 0; c < out_c_; ++c) {
+        const float b = pb[c];
+        float* plane = po + (i * out_c_ + c) * oh * ow;
+        for (int64_t j = 0; j < oh * ow; ++j) plane[j] += b;
+      }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  check_arg(x.numel() > 0, "Conv2d::backward called before forward");
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeom g = make_geom(in_c_, h, w, kernel_, stride_, pad_);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  check_arg(grad_out.shape() == Shape{n, out_c_, oh, ow},
+            "Conv2d::backward: gradient shape mismatch");
+
+  Tensor grad_in(x.shape());
+  Tensor cols;
+  const int64_t in_stride = in_c_ * h * w;
+  const int64_t out_stride = out_c_ * oh * ow;
+  for (int64_t i = 0; i < n; ++i) {
+    // Recompute the patch matrix for this sample (memory/compute trade-off).
+    im2col(x.data() + i * in_stride, g, cols);
+    Tensor gmat(
+        {out_c_, oh * ow},
+        std::vector<float>(grad_out.data() + i * out_stride,
+                           grad_out.data() + (i + 1) * out_stride));
+    // dW += g . cols^T ; dcols = W^T . g ; dx = col2im(dcols)
+    ops::add_(weight_.grad, ops::matmul_nt(gmat, cols));
+    Tensor dcols = ops::matmul_tn(weight_.value, gmat);
+    col2im(dcols, g, grad_in.data() + i * in_stride);
+    if (with_bias_) {
+      float* pb = bias_.grad.data();
+      const float* pg = gmat.data();
+      for (int64_t c = 0; c < out_c_; ++c) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < oh * ow; ++j) acc += pg[c * oh * ow + j];
+        pb[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (with_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  check_arg(in.size() == 4 && in[1] == in_c_,
+            "Conv2d::output_shape: bad input shape");
+  const ConvGeom g = make_geom(in_c_, in[2], in[3], kernel_, stride_, pad_);
+  return {in[0], out_c_, g.out_h(), g.out_w()};
+}
+
+// ---------------------------------------------------------- DepthwiseConv2d
+
+DepthwiseConv2d::DepthwiseConv2d(int64_t channels, int64_t kernel,
+                                 int64_t stride, int64_t pad, Rng& rng,
+                                 bool with_bias)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      with_bias_(with_bias) {
+  check_arg(channels > 0 && kernel > 0 && stride > 0 && pad >= 0,
+            "DepthwiseConv2d: bad configuration");
+  const int64_t fan_in = kernel_ * kernel_;
+  Tensor w({channels_, fan_in});
+  kaiming_normal(w, fan_in, rng);
+  weight_ = Parameter("weight", std::move(w));
+  if (with_bias_) bias_ = Parameter("bias", Tensor({channels_}));
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x) {
+  check_arg(x.dim() == 4 && x.size(1) == channels_,
+            msg_cat("DepthwiseConv2d: expected [N, ", channels_,
+                    ", H, W], got ", shape_str(x.shape())));
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeom g = make_geom(1, h, w, kernel_, stride_, pad_);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  cached_input_ = x;
+
+  Tensor out({n, channels_, oh, ow});
+  const float* px = x.data();
+  float* po = out.data();
+  const float* pw = weight_.value.data();
+  const float* pb = with_bias_ ? bias_.value.data() : nullptr;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = px + (i * channels_ + c) * h * w;
+      const float* kern = pw + c * kernel_ * kernel_;
+      float* oplane = po + (i * channels_ + c) * oh * ow;
+      const float b = pb ? pb[c] : 0.0f;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          float acc = b;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t iy = y * stride_ + kh - pad_;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t ix = xx * stride_ + kw - pad_;
+              if (ix < 0 || ix >= w) continue;
+              acc += kern[kh * kernel_ + kw] * plane[iy * w + ix];
+            }
+          }
+          oplane[y * ow + xx] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  check_arg(x.numel() > 0, "DepthwiseConv2d::backward called before forward");
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const ConvGeom g = make_geom(1, h, w, kernel_, stride_, pad_);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  check_arg(grad_out.shape() == Shape{n, channels_, oh, ow},
+            "DepthwiseConv2d::backward: gradient shape mismatch");
+
+  Tensor grad_in(x.shape());
+  const float* px = x.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  const float* pw = weight_.value.data();
+  float* pgw = weight_.grad.data();
+  float* pgb = with_bias_ ? bias_.grad.data() : nullptr;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = px + (i * channels_ + c) * h * w;
+      const float* gplane = pg + (i * channels_ + c) * oh * ow;
+      float* giplane = pgi + (i * channels_ + c) * h * w;
+      const float* kern = pw + c * kernel_ * kernel_;
+      float* gkern = pgw + c * kernel_ * kernel_;
+      double bacc = 0.0;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          const float gv = gplane[y * ow + xx];
+          if (gv == 0.0f) continue;
+          bacc += gv;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t iy = y * stride_ + kh - pad_;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t ix = xx * stride_ + kw - pad_;
+              if (ix < 0 || ix >= w) continue;
+              gkern[kh * kernel_ + kw] += gv * plane[iy * w + ix];
+              giplane[iy * w + ix] += gv * kern[kh * kernel_ + kw];
+            }
+          }
+        }
+      }
+      if (pgb) pgb[c] += static_cast<float>(bacc);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> DepthwiseConv2d::parameters() {
+  if (with_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Shape DepthwiseConv2d::output_shape(const Shape& in) const {
+  check_arg(in.size() == 4 && in[1] == channels_,
+            "DepthwiseConv2d::output_shape: bad input shape");
+  const ConvGeom g = make_geom(1, in[2], in[3], kernel_, stride_, pad_);
+  return {in[0], channels_, g.out_h(), g.out_w()};
+}
+
+}  // namespace mtlsplit::nn

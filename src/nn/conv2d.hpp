@@ -1,0 +1,68 @@
+// 2-d convolution layers over NCHW batches.
+//
+// Conv2d is lowered to GEMM via im2col (tensor/im2col.hpp); the backward
+// pass recomputes the patch matrix from the cached input instead of caching
+// it, trading a little compute for a large activation-memory saving.
+// DepthwiseConv2d (one filter per channel, the MobileNet/EfficientNet
+// workhorse) uses direct loops — its arithmetic intensity is too low for
+// im2col to pay off.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::nn {
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t pad, Rng& rng, bool with_bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "Conv2d"; }
+  int64_t flops(const Shape& in) const override {
+    const Shape out = output_shape(in);
+    return 2 * mtlsplit::numel(out) * in_c_ * kernel_ * kernel_;
+  }
+
+  int64_t in_channels() const { return in_c_; }
+  int64_t out_channels() const { return out_c_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  int64_t in_c_, out_c_, kernel_, stride_, pad_;
+  bool with_bias_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  Tensor cached_input_;
+};
+
+class DepthwiseConv2d final : public Module {
+ public:
+  DepthwiseConv2d(int64_t channels, int64_t kernel, int64_t stride,
+                  int64_t pad, Rng& rng, bool with_bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "DepthwiseConv2d"; }
+  int64_t flops(const Shape& in) const override {
+    return 2 * mtlsplit::numel(output_shape(in)) * kernel_ * kernel_;
+  }
+
+  int64_t channels() const { return channels_; }
+
+ private:
+  int64_t channels_, kernel_, stride_, pad_;
+  bool with_bias_;
+  Parameter weight_;  // [channels, k * k]
+  Parameter bias_;    // [channels]
+  Tensor cached_input_;
+};
+
+}  // namespace mtlsplit::nn

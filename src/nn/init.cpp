@@ -1,0 +1,25 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace mtlsplit::nn {
+
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  check_arg(fan_in > 0, "kaiming_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(w, 0.0f, stddev);
+}
+
+void kaiming_uniform(Tensor& w, int64_t fan_in, Rng& rng) {
+  check_arg(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+  const float b = std::sqrt(6.0f / static_cast<float>(fan_in));
+  rng.fill_uniform(w, -b, b);
+}
+
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  check_arg(fan_in > 0 && fan_out > 0, "xavier_uniform: bad fan sizes");
+  const float b = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(w, -b, b);
+}
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,18 @@
+// Weight initialisers (He / Glorot schemes).
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::nn {
+
+/// He-normal: N(0, sqrt(2 / fan_in)); the default for ReLU-family nets.
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// He-uniform: U(-b, b) with b = sqrt(6 / fan_in).
+void kaiming_uniform(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// Glorot-uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,30 @@
+// Loss functions.
+//
+// Losses are free functions, not Modules: they return both the scalar loss
+// and the gradient wrt their first argument, which seeds backpropagation.
+// cross_entropy implements the paper's per-task classification loss L_j
+// (Eq. 4); the MTL trainer sums these across tasks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit::nn {
+
+struct LossResult {
+  float loss = 0.0f;  ///< mean loss over the batch
+  Tensor grad;        ///< dL/d(logits or prediction), same shape as input
+};
+
+/// Softmax cross-entropy from raw logits [N, C] against integer class
+/// targets (size N). Mean reduction over the batch.
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const int64_t> targets);
+
+/// Mean squared error between prediction and target (same shapes),
+/// mean reduction over all elements.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,55 @@
+#include "nn/misc_layers.hpp"
+
+namespace mtlsplit::nn {
+
+Tensor Flatten::forward(const Tensor& x) {
+  check_arg(x.dim() >= 1, "Flatten: scalar input");
+  cached_in_shape_ = x.shape();
+  return x.reshape({x.size(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  check_arg(!cached_in_shape_.empty(), "Flatten::backward before forward");
+  return grad_out.reshape(cached_in_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& in) const {
+  check_arg(!in.empty(), "Flatten::output_shape: scalar input");
+  int64_t rest = 1;
+  for (size_t i = 1; i < in.size(); ++i) rest *= in[i];
+  return {in[0], rest};
+}
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  check_arg(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training_ || p_ == 0.0f) {
+    mask_ = Tensor();
+    return x;
+  }
+  mask_ = Tensor(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  for (float& m : mask_.span()) m = rng_->bernoulli(p_) ? 0.0f : scale;
+  Tensor out(x.shape());
+  const float* px = x.data();
+  const float* pm = mask_.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] * pm[i];
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.numel() == 0) return grad_out;  // eval mode or p == 0
+  check_arg(grad_out.shape() == mask_.shape(),
+            "Dropout::backward: gradient shape mismatch");
+  Tensor out(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* pm = mask_.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < grad_out.numel(); ++i) po[i] = pg[i] * pm[i];
+  return out;
+}
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,48 @@
+// Small structural layers: Flatten, Dropout, Identity.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::nn {
+
+/// [N, ...] -> [N, prod(...)]. This is the "flattened before being sent
+/// through the network" step the paper applies to Z_b (§3.1).
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) during training,
+/// identity during eval.
+class Dropout final : public Module {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  Rng* rng_;       // not owned; the model's RNG stream
+  Tensor mask_;    // kept/scaled multiplier per element
+};
+
+/// Pass-through layer, useful as a placeholder in block definitions.
+class Identity final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override { return x; }
+  Tensor backward(const Tensor& grad_out) override { return grad_out; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return "Identity"; }
+};
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,190 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+namespace mtlsplit::nn {
+
+namespace {
+
+int64_t pooled_extent(int64_t in, int64_t kernel, int64_t stride) {
+  check_arg(in >= kernel, msg_cat("pooling: input extent ", in,
+                                  " smaller than kernel ", kernel));
+  return (in - kernel) / stride + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  check_arg(kernel > 0 && stride > 0, "MaxPool2d: bad configuration");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  check_arg(x.dim() == 4, "MaxPool2d: expected NCHW input");
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t oh = pooled_extent(h, kernel_, stride_);
+  const int64_t ow = pooled_extent(w, kernel_, stride_);
+  cached_in_shape_ = x.shape();
+  cached_argmax_.assign(static_cast<size_t>(n * c * oh * ow), 0);
+
+  Tensor out({n, c, oh, ow});
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t* pa = cached_argmax_.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    float* oplane = po + i * oh * ow;
+    int64_t* aplane = pa + i * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xx = 0; xx < ow; ++xx) {
+        float best = -std::numeric_limits<float>::infinity();
+        int64_t best_idx = 0;
+        for (int64_t kh = 0; kh < kernel_; ++kh) {
+          const int64_t iy = y * stride_ + kh;
+          for (int64_t kw = 0; kw < kernel_; ++kw) {
+            const int64_t ix = xx * stride_ + kw;
+            const float v = plane[iy * w + ix];
+            if (v > best) {
+              best = v;
+              best_idx = iy * w + ix;
+            }
+          }
+        }
+        oplane[y * ow + xx] = best;
+        aplane[y * ow + xx] = i * h * w + best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  check_arg(!cached_in_shape_.empty(),
+            "MaxPool2d::backward called before forward");
+  check_arg(grad_out.numel() == static_cast<int64_t>(cached_argmax_.size()),
+            "MaxPool2d::backward: gradient shape mismatch");
+  Tensor grad_in(cached_in_shape_);
+  float* pgi = grad_in.data();
+  const float* pg = grad_out.data();
+  for (size_t i = 0; i < cached_argmax_.size(); ++i)
+    pgi[cached_argmax_[i]] += pg[i];
+  return grad_in;
+}
+
+Shape MaxPool2d::output_shape(const Shape& in) const {
+  check_arg(in.size() == 4, "MaxPool2d::output_shape: expected NCHW");
+  return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+          pooled_extent(in[3], kernel_, stride_)};
+}
+
+// ---------------------------------------------------------------- AvgPool2d
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  check_arg(kernel > 0 && stride > 0, "AvgPool2d: bad configuration");
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  check_arg(x.dim() == 4, "AvgPool2d: expected NCHW input");
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t oh = pooled_extent(h, kernel_, stride_);
+  const int64_t ow = pooled_extent(w, kernel_, stride_);
+  cached_in_shape_ = x.shape();
+
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    float* oplane = po + i * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xx = 0; xx < ow; ++xx) {
+        float acc = 0.0f;
+        for (int64_t kh = 0; kh < kernel_; ++kh)
+          for (int64_t kw = 0; kw < kernel_; ++kw)
+            acc += plane[(y * stride_ + kh) * w + xx * stride_ + kw];
+        oplane[y * ow + xx] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  check_arg(!cached_in_shape_.empty(),
+            "AvgPool2d::backward called before forward");
+  const int64_t h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const int64_t planes = cached_in_shape_[0] * cached_in_shape_[1];
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  for (int64_t i = 0; i < planes; ++i) {
+    const float* gplane = pg + i * oh * ow;
+    float* giplane = pgi + i * h * w;
+    for (int64_t y = 0; y < oh; ++y)
+      for (int64_t xx = 0; xx < ow; ++xx) {
+        const float gv = gplane[y * ow + xx] * inv;
+        for (int64_t kh = 0; kh < kernel_; ++kh)
+          for (int64_t kw = 0; kw < kernel_; ++kw)
+            giplane[(y * stride_ + kh) * w + xx * stride_ + kw] += gv;
+      }
+  }
+  return grad_in;
+}
+
+Shape AvgPool2d::output_shape(const Shape& in) const {
+  check_arg(in.size() == 4, "AvgPool2d::output_shape: expected NCHW");
+  return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+          pooled_extent(in[3], kernel_, stride_)};
+}
+
+// ------------------------------------------------------------ GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  check_arg(x.dim() == 4, "GlobalAvgPool: expected NCHW input");
+  const int64_t n = x.size(0), c = x.size(1), plane = x.size(2) * x.size(3);
+  check_arg(plane > 0, "GlobalAvgPool: empty spatial extent");
+  cached_in_shape_ = x.shape();
+  Tensor out({n, c});
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n * c; ++i) {
+    double acc = 0.0;
+    const float* p = px + i * plane;
+    for (int64_t j = 0; j < plane; ++j) acc += p[j];
+    po[i] = static_cast<float>(acc) * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  check_arg(!cached_in_shape_.empty(),
+            "GlobalAvgPool::backward called before forward");
+  const int64_t n = cached_in_shape_[0], c = cached_in_shape_[1];
+  const int64_t plane = cached_in_shape_[2] * cached_in_shape_[3];
+  check_arg(grad_out.shape() == Shape{n, c},
+            "GlobalAvgPool::backward: gradient shape mismatch");
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float gv = pg[i] * inv;
+    float* p = pgi + i * plane;
+    for (int64_t j = 0; j < plane; ++j) p[j] = gv;
+  }
+  return grad_in;
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& in) const {
+  check_arg(in.size() == 4, "GlobalAvgPool::output_shape: expected NCHW");
+  return {in[0], in[1]};
+}
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,53 @@
+// Spatial pooling layers over NCHW batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mtlsplit::nn {
+
+/// Max pooling with square window; caches argmax indices for backward.
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_, stride_;
+  Shape cached_in_shape_;
+  std::vector<int64_t> cached_argmax_;  // flat input index per output element
+};
+
+/// Average pooling with square window.
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  int64_t kernel_, stride_;
+  Shape cached_in_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,88 @@
+#include "nn/sequential.hpp"
+
+namespace mtlsplit::nn {
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+Tensor Sequential::forward_prefix(const Tensor& x, size_t k) {
+  check_bounds(k <= layers_.size(), "Sequential::forward_prefix: bad index");
+  Tensor h = x;
+  for (size_t i = 0; i < k; ++i) h = layers_[i]->forward(h);
+  return h;
+}
+
+Tensor Sequential::forward_suffix(const Tensor& x, size_t k) {
+  check_bounds(k <= layers_.size(), "Sequential::forward_suffix: bad index");
+  Tensor h = x;
+  for (size_t i = k; i < layers_.size(); ++i) h = layers_[i]->forward(h);
+  return h;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_)
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* b : layer->buffers()) out.push_back(b);
+  return out;
+}
+
+Shape Sequential::output_shape(const Shape& in) const {
+  return output_shape_prefix(in, layers_.size());
+}
+
+Shape Sequential::output_shape_prefix(const Shape& in, size_t k) const {
+  check_bounds(k <= layers_.size(),
+               "Sequential::output_shape_prefix: bad index");
+  Shape s = in;
+  for (size_t i = 0; i < k; ++i) s = layers_[i]->output_shape(s);
+  return s;
+}
+
+int64_t Sequential::activation_elems(const Shape& in) const {
+  int64_t total = 0;
+  Shape s = in;
+  for (const auto& layer : layers_) {
+    total += layer->activation_elems(s);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+int64_t Sequential::flops(const Shape& in) const {
+  return flops_prefix(in, layers_.size());
+}
+
+int64_t Sequential::flops_prefix(const Shape& in, size_t k) const {
+  check_bounds(k <= layers_.size(), "Sequential::flops_prefix: bad index");
+  int64_t total = 0;
+  Shape s = in;
+  for (size_t i = 0; i < k; ++i) {
+    total += layers_[i]->flops(s);
+    s = layers_[i]->output_shape(s);
+  }
+  return total;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+}  // namespace mtlsplit::nn

@@ -1,0 +1,57 @@
+#include "optim/adamw.hpp"
+
+#include <cmath>
+
+namespace mtlsplit::optim {
+
+AdamW::AdamW(std::vector<ParamGroup> groups, AdamWConfig cfg)
+    : Optimizer(std::move(groups), cfg.lr), cfg_(cfg) {
+  check_arg(cfg.beta1 >= 0.0f && cfg.beta1 < 1.0f, "AdamW: bad beta1");
+  check_arg(cfg.beta2 >= 0.0f && cfg.beta2 < 1.0f, "AdamW: bad beta2");
+  check_arg(cfg.eps > 0.0f, "AdamW: eps must be positive");
+  check_arg(cfg.weight_decay >= 0.0f, "AdamW: negative weight decay");
+  m_.resize(groups_.size());
+  v_.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (const nn::Parameter* p : groups_[g].params) {
+      m_[g].emplace_back(p->value.shape());
+      v_[g].emplace_back(p->value.shape());
+    }
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const float glr = lr_ * groups_[g].lr_scale;
+    for (size_t i = 0; i < groups_[g].params.size(); ++i) {
+      nn::Parameter& p = *groups_[g].params[i];
+      if (frozen_[g]) {
+        p.grad.zero();
+        continue;
+      }
+      float* pv = p.value.data();
+      float* pg = p.grad.data();
+      float* pm = m_[g][i].data();
+      float* pvv = v_[g][i].data();
+      const int64_t n = p.value.numel();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = pg[j];
+        pm[j] = cfg_.beta1 * pm[j] + (1.0f - cfg_.beta1) * grad;
+        pvv[j] = cfg_.beta2 * pvv[j] + (1.0f - cfg_.beta2) * grad * grad;
+        const float mhat = pm[j] / bc1;
+        const float vhat = pvv[j] / bc2;
+        // Decoupled decay: shrink the weight directly, not through the grad.
+        pv[j] -= glr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                        cfg_.weight_decay * pv[j]);
+        pg[j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace mtlsplit::optim

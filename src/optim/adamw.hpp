@@ -1,0 +1,34 @@
+// AdamW (Loshchilov & Hutter, decoupled weight decay) — the optimizer the
+// paper uses for all experiments (§4 "Training and inference details").
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace mtlsplit::optim {
+
+struct AdamWConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+class AdamW final : public Optimizer {
+ public:
+  AdamW(std::vector<ParamGroup> groups, AdamWConfig cfg);
+  /// Single-group convenience.
+  AdamW(std::vector<nn::Parameter*> params, AdamWConfig cfg)
+      : AdamW(std::vector<ParamGroup>{ParamGroup(std::move(params))}, cfg) {}
+
+  void step() override;
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  AdamWConfig cfg_;
+  int64_t t_ = 0;
+  std::vector<std::vector<Tensor>> m_, v_;  // per group, per param
+};
+
+}  // namespace mtlsplit::optim

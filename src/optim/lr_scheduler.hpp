@@ -1,0 +1,67 @@
+// Learning-rate schedules. Each schedule maps an epoch index to a learning
+// rate and pushes it into the optimizer via set_lr().
+#pragma once
+
+#include <cmath>
+
+#include "optim/optimizer.hpp"
+
+namespace mtlsplit::optim {
+
+class LrScheduler {
+ public:
+  virtual ~LrScheduler() = default;
+  explicit LrScheduler(Optimizer& opt, float base_lr)
+      : opt_(&opt), base_lr_(base_lr) {
+    check_arg(base_lr >= 0.0f, "LrScheduler: negative base lr");
+  }
+
+  /// Computes the lr for @p epoch and applies it.
+  void apply(int64_t epoch) { opt_->set_lr(lr_at(epoch)); }
+  virtual float lr_at(int64_t epoch) const = 0;
+
+ protected:
+  Optimizer* opt_;
+  float base_lr_;
+};
+
+/// Multiplies the lr by @p gamma every @p step_size epochs.
+class StepLr final : public LrScheduler {
+ public:
+  StepLr(Optimizer& opt, float base_lr, int64_t step_size, float gamma)
+      : LrScheduler(opt, base_lr), step_size_(step_size), gamma_(gamma) {
+    check_arg(step_size > 0, "StepLr: step_size must be positive");
+    check_arg(gamma > 0.0f, "StepLr: gamma must be positive");
+  }
+  float lr_at(int64_t epoch) const override {
+    return base_lr_ *
+           std::pow(gamma_, static_cast<float>(epoch / step_size_));
+  }
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over @p total epochs.
+class CosineLr final : public LrScheduler {
+ public:
+  CosineLr(Optimizer& opt, float base_lr, int64_t total, float min_lr = 0.0f)
+      : LrScheduler(opt, base_lr), total_(total), min_lr_(min_lr) {
+    check_arg(total > 0, "CosineLr: total must be positive");
+    check_arg(min_lr >= 0.0f && min_lr <= base_lr, "CosineLr: bad min_lr");
+  }
+  float lr_at(int64_t epoch) const override {
+    const float t = static_cast<float>(std::min(epoch, total_)) /
+                    static_cast<float>(total_);
+    constexpr float kPi = 3.14159265358979323846f;
+    return min_lr_ +
+           0.5f * (base_lr_ - min_lr_) * (1.0f + std::cos(kPi * t));
+  }
+
+ private:
+  int64_t total_;
+  float min_lr_;
+};
+
+}  // namespace mtlsplit::optim

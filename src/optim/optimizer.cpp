@@ -1,0 +1,23 @@
+#include "optim/optimizer.hpp"
+
+namespace mtlsplit::optim {
+
+Optimizer::Optimizer(std::vector<ParamGroup> groups, float lr)
+    : groups_(std::move(groups)), frozen_(groups_.size(), false), lr_(lr) {
+  check_arg(lr >= 0.0f, "Optimizer: negative learning rate");
+  for (const auto& g : groups_)
+    for (const nn::Parameter* p : g.params)
+      check_arg(p != nullptr, "Optimizer: null parameter");
+}
+
+void Optimizer::set_group_frozen(size_t group, bool frozen) {
+  check_bounds(group < frozen_.size(), "Optimizer: group index out of range");
+  frozen_[group] = frozen;
+}
+
+bool Optimizer::group_frozen(size_t group) const {
+  check_bounds(group < frozen_.size(), "Optimizer: group index out of range");
+  return frozen_[group];
+}
+
+}  // namespace mtlsplit::optim

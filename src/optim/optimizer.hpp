@@ -1,0 +1,57 @@
+// Optimizer interface.
+//
+// An optimizer owns *references* to the Parameters of one or more modules
+// (the modules own the storage). step() consumes the accumulated gradients
+// and zeroes them, so the train loop is: forward -> loss -> backward ->
+// step().
+//
+// Per-group learning rates are first-class because the paper's fine-tuning
+// strategy (Eqs. 5-6) updates heads with lr alpha and the shared backbone
+// with a much smaller lr eta: put them in different groups.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mtlsplit::optim {
+
+/// A set of parameters sharing one learning-rate multiplier.
+struct ParamGroup {
+  std::vector<nn::Parameter*> params;
+  float lr_scale = 1.0f;  ///< group lr = base_lr * lr_scale
+
+  ParamGroup() = default;
+  explicit ParamGroup(std::vector<nn::Parameter*> p, float scale = 1.0f)
+      : params(std::move(p)), lr_scale(scale) {}
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  void set_lr(float lr) {
+    check_arg(lr >= 0.0f, "Optimizer: negative learning rate");
+    lr_ = lr;
+  }
+  float lr() const { return lr_; }
+
+  /// Freezes / unfreezes a group (frozen groups are skipped by step();
+  /// used to hold the backbone "relatively fixed" during fine-tuning).
+  void set_group_frozen(size_t group, bool frozen);
+  bool group_frozen(size_t group) const;
+
+ protected:
+  Optimizer(std::vector<ParamGroup> groups, float lr);
+
+  std::vector<ParamGroup> groups_;
+  std::vector<bool> frozen_;
+  float lr_;
+};
+
+}  // namespace mtlsplit::optim

@@ -1,0 +1,43 @@
+#include "optim/sgd.hpp"
+
+namespace mtlsplit::optim {
+
+Sgd::Sgd(std::vector<ParamGroup> groups, SgdConfig cfg)
+    : Optimizer(std::move(groups), cfg.lr), cfg_(cfg) {
+  check_arg(cfg.momentum >= 0.0f && cfg.momentum < 1.0f, "Sgd: bad momentum");
+  check_arg(cfg.weight_decay >= 0.0f, "Sgd: negative weight decay");
+  velocity_.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    velocity_[g].reserve(groups_[g].params.size());
+    for (const nn::Parameter* p : groups_[g].params)
+      velocity_[g].emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const float glr = lr_ * groups_[g].lr_scale;
+    for (size_t i = 0; i < groups_[g].params.size(); ++i) {
+      nn::Parameter& p = *groups_[g].params[i];
+      if (frozen_[g]) {
+        p.grad.zero();
+        continue;
+      }
+      float* pv = p.value.data();
+      float* pg = p.grad.data();
+      float* pm = velocity_[g][i].data();
+      const int64_t n = p.value.numel();
+      for (int64_t j = 0; j < n; ++j) {
+        float grad = pg[j] + cfg_.weight_decay * pv[j];
+        if (cfg_.momentum > 0.0f) {
+          pm[j] = cfg_.momentum * pm[j] + grad;
+          grad = pm[j];
+        }
+        pv[j] -= glr * grad;
+        pg[j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace mtlsplit::optim

@@ -1,0 +1,29 @@
+// Stochastic gradient descent with optional classical momentum and
+// (coupled) L2 weight decay.
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace mtlsplit::optim {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ParamGroup> groups, SgdConfig cfg);
+  /// Single-group convenience.
+  Sgd(std::vector<nn::Parameter*> params, SgdConfig cfg)
+      : Sgd(std::vector<ParamGroup>{ParamGroup(std::move(params))}, cfg) {}
+
+  void step() override;
+
+ private:
+  SgdConfig cfg_;
+  std::vector<std::vector<Tensor>> velocity_;  // per group, per param
+};
+
+}  // namespace mtlsplit::optim

@@ -1,0 +1,77 @@
+#include "sc/bottleneck.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/loss.hpp"
+#include "optim/adamw.hpp"
+
+namespace mtlsplit::sc {
+
+BottleneckCodec::BottleneckCodec(const BottleneckConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  check_arg(cfg.feature_dim > 0, "BottleneckCodec: bad feature dim");
+  check_arg(cfg.code_dim > 0 && cfg.code_dim < cfg.feature_dim,
+            "BottleneckCodec: code dim must be in (0, feature_dim)");
+  check_arg(cfg.lr > 0.0f, "BottleneckCodec: bad learning rate");
+  check_arg(cfg.batch_size > 0, "BottleneckCodec: bad batch size");
+  encoder_.emplace<nn::Linear>(cfg.feature_dim, cfg.code_dim, rng_);
+  decoder_.emplace<nn::Linear>(cfg.code_dim, cfg.feature_dim, rng_);
+}
+
+float BottleneckCodec::train(const Tensor& features, int64_t epochs) {
+  check_arg(features.dim() == 2 && features.size(1) == cfg_.feature_dim,
+            "BottleneckCodec::train: features must be [N, D]");
+  check_arg(epochs > 0, "BottleneckCodec::train: epochs must be positive");
+  const int64_t n = features.size(0);
+  check_arg(n >= cfg_.batch_size, "BottleneckCodec::train: too few samples");
+
+  std::vector<nn::Parameter*> params = encoder_.parameters();
+  for (nn::Parameter* p : decoder_.parameters()) params.push_back(p);
+  optim::AdamW opt(params, {.lr = cfg_.lr, .weight_decay = 0.0f});
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  const int64_t d = cfg_.feature_dim;
+  float last_epoch_mse = 0.0f;
+  for (int64_t e = 0; e < epochs; ++e) {
+    rng_.shuffle(order);
+    double mse_acc = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start + cfg_.batch_size <= n;
+         start += cfg_.batch_size) {
+      Tensor batch({cfg_.batch_size, d});
+      for (int64_t i = 0; i < cfg_.batch_size; ++i) {
+        const int64_t src = order[static_cast<size_t>(start + i)];
+        std::copy(features.data() + src * d, features.data() + (src + 1) * d,
+                  batch.data() + i * d);
+      }
+      const Tensor recon = decoder_.forward(encoder_.forward(batch));
+      const nn::LossResult r = nn::mse(recon, batch);
+      encoder_.backward(decoder_.backward(r.grad));
+      opt.step();
+      mse_acc += r.loss;
+      ++batches;
+    }
+    last_epoch_mse = static_cast<float>(mse_acc / std::max<int64_t>(1, batches));
+  }
+  return last_epoch_mse;
+}
+
+Tensor BottleneckCodec::encode(const Tensor& zb) {
+  check_arg(zb.dim() == 2 && zb.size(1) == cfg_.feature_dim,
+            "BottleneckCodec::encode: input must be [N, D]");
+  return encoder_.forward(zb);
+}
+
+Tensor BottleneckCodec::decode(const Tensor& code) {
+  check_arg(code.dim() == 2 && code.size(1) == cfg_.code_dim,
+            "BottleneckCodec::decode: input must be [N, K]");
+  return decoder_.forward(code);
+}
+
+float BottleneckCodec::reconstruction_error(const Tensor& features) {
+  const Tensor recon = decode(encode(features));
+  return nn::mse(recon, features).loss;
+}
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,39 @@
+#include "sc/channel.hpp"
+
+namespace mtlsplit::sc {
+
+Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  check_arg(cfg.bandwidth_bps > 0.0, "Channel: bandwidth must be positive");
+  check_arg(cfg.base_latency_s >= 0.0, "Channel: negative base latency");
+  check_arg(cfg.degradation >= 0.0 && cfg.degradation < 1.0,
+            "Channel: degradation must be in [0, 1)");
+  check_arg(cfg.corrupt_prob >= 0.0f && cfg.corrupt_prob <= 1.0f,
+            "Channel: bad corruption probability");
+}
+
+double Channel::transfer_time(int64_t bytes) const {
+  check_arg(bytes >= 0, "Channel::transfer_time: negative size");
+  const double effective_bw = cfg_.bandwidth_bps * (1.0 - cfg_.degradation);
+  return cfg_.base_latency_s +
+         static_cast<double>(bytes) * 8.0 / effective_bw;
+}
+
+std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
+  total_time_ += transfer_time(static_cast<int64_t>(message.size()));
+  total_bytes_ += static_cast<int64_t>(message.size());
+  ++messages_;
+  if (cfg_.corrupt_prob > 0.0f) {
+    for (uint8_t& b : message)
+      if (rng_.bernoulli(cfg_.corrupt_prob))
+        b ^= static_cast<uint8_t>(1u << rng_.randint(0, 7));
+  }
+  return message;
+}
+
+void Channel::reset_stats() {
+  total_time_ = 0.0;
+  total_bytes_ = 0;
+  messages_ = 0;
+}
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,53 @@
+// Communication-channel model between the edge device and the remote
+// server (the "Network" box of paper Fig. 1).
+//
+// Transfer time follows the paper's §4.2 arithmetic — bytes / bandwidth —
+// plus a configurable per-message base latency, an optional degradation
+// factor modelling poor channel conditions (§1: "excessive latency times,
+// especially in degraded channel conditions"), and an optional corruption
+// probability for failure-injection tests (corrupted payloads fail the
+// wire-format CRC on receipt).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::sc {
+
+struct ChannelConfig {
+  double bandwidth_bps = 1e9;   ///< gigabit default, as in §4.2
+  double base_latency_s = 0.0;  ///< per-message propagation/setup time
+  double degradation = 0.0;     ///< [0,1): effective bw *= (1 - degradation)
+  float corrupt_prob = 0.0f;    ///< probability a transmitted byte flips
+  uint64_t seed = 42;
+};
+
+class Channel {
+ public:
+  explicit Channel(const ChannelConfig& cfg);
+
+  /// Modelled wall-clock time to move @p bytes across the link.
+  double transfer_time(int64_t bytes) const;
+
+  /// "Transmits" a message: accounts time into total_time() and applies
+  /// byte corruption per corrupt_prob. Returns the received bytes.
+  std::vector<uint8_t> transmit(std::vector<uint8_t> message);
+
+  double total_time() const { return total_time_; }
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t messages_sent() const { return messages_; }
+  void reset_stats();
+
+  const ChannelConfig& config() const { return cfg_; }
+
+ private:
+  ChannelConfig cfg_;
+  Rng rng_;
+  double total_time_ = 0.0;
+  int64_t total_bytes_ = 0;
+  int64_t messages_ = 0;
+};
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,136 @@
+#include "sc/deployment.hpp"
+
+#include "tensor/serialize.hpp"
+
+namespace mtlsplit::sc {
+
+namespace {
+
+Shape image_shape_of(const Tensor& x) {
+  check_arg(x.dim() == 4, "deployment: input must be [N, C, H, W]");
+  return {x.size(1), x.size(2), x.size(3)};
+}
+
+int64_t heads_flops(core::MtlSplitModel& model, const Shape& zb_shape) {
+  int64_t total = 0;
+  for (size_t j = 0; j < model.num_tasks(); ++j)
+    total += model.head(j).flops(zb_shape);
+  return total;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- ScDeployment
+
+ScDeployment::ScDeployment(core::MtlSplitModel& model, Channel& channel,
+                           DeviceProfile edge, DeviceProfile server,
+                           ScDeploymentConfig cfg)
+    : model_(&model),
+      channel_(&channel),
+      edge_(std::move(edge)),
+      server_(std::move(server)),
+      cfg_(cfg) {}
+
+InferenceResult ScDeployment::infer(const Tensor& x) {
+  InferenceResult out;
+
+  // --- Edge device: shared backbone (Eq. 2).
+  const Tensor zb = model_->forward_backbone(x);
+  out.latency.edge_compute_s =
+      edge_.compute_time(model_->backbone().flops(x.shape()));
+
+  // --- Wire: serialise Z_b and push it through the channel.
+  std::vector<uint8_t> wire;
+  if (cfg_.encoding == ZbEncoding::kFloat32) {
+    wire = serialize_tensor(zb);
+  } else {
+    const QuantizedTensor q = quantize_int8(zb);
+    wire = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
+  }
+  out.latency.wire_bytes = static_cast<int64_t>(wire.size());
+  out.latency.transfer_s =
+      channel_->transfer_time(out.latency.wire_bytes);
+  const std::vector<uint8_t> received = channel_->transmit(std::move(wire));
+
+  // --- Server: deserialise (CRC-checked) and run the task heads (Eq. 3).
+  const WireTensor wt = deserialize_tensor(received);
+  const Tensor zb_rx =
+      wt.dtype == WireDtype::kFloat32
+          ? wt.f32
+          : dequantize_int8({wt.shape, wt.i8, wt.scale, wt.zero_point});
+  out.logits = model_->forward_heads(zb_rx);
+  out.latency.server_compute_s =
+      server_.compute_time(heads_flops(*model_, zb_rx.shape()));
+  return out;
+}
+
+double ScDeployment::edge_memory_bytes(const Shape& image_shape) const {
+  check_arg(image_shape.size() == 3,
+            "edge_memory_bytes: image shape must be {C,H,W}");
+  const Shape in = {1, image_shape[0], image_shape[1], image_shape[2]};
+  const nn::Sequential& bb = const_cast<core::MtlSplitModel*>(model_)->backbone();
+  int64_t params = 0;
+  for (nn::Parameter* p :
+       const_cast<nn::Sequential&>(bb).parameters())
+    params += p->value.numel();
+  return 4.0 * static_cast<double>(params + bb.activation_elems(in));
+}
+
+// ---------------------------------------------------------- RocDeployment
+
+RocDeployment::RocDeployment(core::MtlSplitModel& model, Channel& channel,
+                             DeviceProfile server)
+    : model_(&model), channel_(&channel), server_(std::move(server)) {}
+
+InferenceResult RocDeployment::infer(const Tensor& x) {
+  InferenceResult out;
+  // Raw input crosses the channel...
+  std::vector<uint8_t> wire = serialize_tensor(x);
+  out.latency.wire_bytes = static_cast<int64_t>(wire.size());
+  out.latency.transfer_s = channel_->transfer_time(out.latency.wire_bytes);
+  const std::vector<uint8_t> received = channel_->transmit(std::move(wire));
+  const WireTensor wt = deserialize_tensor(received);
+  check_arg(wt.dtype == WireDtype::kFloat32, "RoC: unexpected wire dtype");
+
+  // ...and the entire model runs remotely.
+  const Tensor zb = model_->forward_backbone(wt.f32);
+  out.logits = model_->forward_heads(zb);
+  out.latency.server_compute_s = server_.compute_time(
+      model_->backbone().flops(wt.f32.shape()) +
+      heads_flops(*model_, zb.shape()));
+  return out;
+}
+
+// ---------------------------------------------------------- LocDeployment
+
+LocDeployment::LocDeployment(core::MtlSplitModel& model, DeviceProfile edge)
+    : model_(&model), edge_(std::move(edge)) {}
+
+InferenceResult LocDeployment::infer(const Tensor& x) {
+  if (!feasible(image_shape_of(x)))
+    throw std::runtime_error(
+        "LocDeployment: model working set exceeds edge memory (" +
+        edge_.name + ")");
+  InferenceResult out;
+  const Tensor zb = model_->forward_backbone(x);
+  out.logits = model_->forward_heads(zb);
+  out.latency.edge_compute_s = edge_.compute_time(
+      model_->backbone().flops(x.shape()) + heads_flops(*model_, zb.shape()));
+  return out;
+}
+
+double LocDeployment::memory_bytes(const Shape& image_shape) const {
+  check_arg(image_shape.size() == 3,
+            "memory_bytes: image shape must be {C,H,W}");
+  const Shape in = {1, image_shape[0], image_shape[1], image_shape[2]};
+  auto* model = const_cast<core::MtlSplitModel*>(model_);
+  int64_t params = 0;
+  for (nn::Parameter* p : model->all_params()) params += p->value.numel();
+  const Shape zb_shape = model->backbone().output_shape(in);
+  int64_t acts = model->backbone().activation_elems(in);
+  for (size_t j = 0; j < model->num_tasks(); ++j)
+    acts += model->head(j).activation_elems(zb_shape);
+  return 4.0 * static_cast<double>(params + acts);
+}
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,103 @@
+// Distributed-deep-learning deployment simulators (paper §2.1 and §4.2):
+//
+//  * LoC  — Local-only Computing: everything on the edge device; feasible
+//           only when the N single-task networks fit edge memory.
+//  * RoC  — Remote-only Computing: the raw input crosses the channel, the
+//           whole model runs on the server.
+//  * SC   — Split Computing (MTL-Split): the shared backbone runs on the
+//           edge, the flattened Z_b crosses the channel through the real
+//           wire format, the task heads run on the server.
+//
+// The simulators *actually execute* the model (so outputs can be checked
+// bit-for-bit against monolithic execution) while latency is modelled
+// analytically from device FLOP throughputs and the channel — the same
+// style of analysis the paper performs in §4.2.
+#pragma once
+
+#include "mtl/mtl_model.hpp"
+#include "sc/channel.hpp"
+#include "sc/device.hpp"
+#include "sc/quantize.hpp"
+
+namespace mtlsplit::sc {
+
+/// Where each latency component of one inference went.
+struct LatencyBreakdown {
+  double edge_compute_s = 0.0;
+  double transfer_s = 0.0;
+  double server_compute_s = 0.0;
+  int64_t wire_bytes = 0;
+  double total_s() const {
+    return edge_compute_s + transfer_s + server_compute_s;
+  }
+};
+
+/// One inference outcome: per-task logits plus its latency model.
+struct InferenceResult {
+  std::vector<Tensor> logits;
+  LatencyBreakdown latency;
+};
+
+enum class ZbEncoding { kFloat32, kInt8 };
+
+struct ScDeploymentConfig {
+  ZbEncoding encoding = ZbEncoding::kFloat32;
+};
+
+/// Split-computing executor for an MtlSplitModel.
+class ScDeployment {
+ public:
+  ScDeployment(core::MtlSplitModel& model, Channel& channel,
+               DeviceProfile edge, DeviceProfile server,
+               ScDeploymentConfig cfg = {});
+
+  /// Runs one batch end to end: edge backbone -> serialise -> channel ->
+  /// deserialise -> server heads. Throws if the channel corrupted the
+  /// message (CRC failure), like a real transport would.
+  InferenceResult infer(const Tensor& x);
+
+  /// Edge-side working-set estimate (backbone params + activations).
+  double edge_memory_bytes(const Shape& image_shape) const;
+
+ private:
+  core::MtlSplitModel* model_;
+  Channel* channel_;
+  DeviceProfile edge_, server_;
+  ScDeploymentConfig cfg_;
+};
+
+/// Remote-only executor: ships the raw input, runs everything server-side.
+class RocDeployment {
+ public:
+  RocDeployment(core::MtlSplitModel& model, Channel& channel,
+                DeviceProfile server);
+
+  InferenceResult infer(const Tensor& x);
+
+ private:
+  core::MtlSplitModel* model_;
+  Channel* channel_;
+  DeviceProfile server_;
+};
+
+/// Local-only executor: runs everything on the edge device.
+class LocDeployment {
+ public:
+  LocDeployment(core::MtlSplitModel& model, DeviceProfile edge);
+
+  /// Throws std::runtime_error when the model's working set exceeds edge
+  /// memory (the §4.2 infeasibility case).
+  InferenceResult infer(const Tensor& x);
+
+  /// Working-set estimate for the whole model on the edge.
+  double memory_bytes(const Shape& image_shape) const;
+  bool feasible(const Shape& image_shape) const {
+    return edge_.fits(memory_bytes(image_shape));
+  }
+
+ private:
+  core::MtlSplitModel* model_;
+  DeviceProfile edge_;
+};
+
+}  // namespace mtlsplit::sc

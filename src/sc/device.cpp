@@ -1,0 +1,23 @@
+#include "sc/device.hpp"
+
+namespace mtlsplit::sc {
+
+DeviceProfile jetson_nano() {
+  DeviceProfile d;
+  d.name = "Jetson Nano (4 GB)";
+  d.memory_bytes = 4LL * 1024 * 1024 * 1024;
+  // 472 GFLOPS fp16 peak -> ~120 GFLOPS sustained fp32 DNN throughput.
+  d.effective_gflops = 120.0;
+  return d;
+}
+
+DeviceProfile rtx3090_server() {
+  DeviceProfile d;
+  d.name = "RTX 3090 server (24 GB)";
+  d.memory_bytes = 24LL * 1024 * 1024 * 1024;
+  // 35.6 TFLOPS fp32 peak -> ~10 TFLOPS sustained on small batches.
+  d.effective_gflops = 10000.0;
+  return d;
+}
+
+}  // namespace mtlsplit::sc

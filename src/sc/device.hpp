@@ -1,0 +1,41 @@
+// Device profiles for the LoC / RoC / SC analyses of paper §4.2.
+//
+// A device is characterised by its memory capacity and an effective
+// compute throughput. The paper's devices are an NVIDIA Jetson Nano (4 GB)
+// on the edge and an RTX 3090 server; the profiles below use published
+// peak fp32 throughputs scaled by a utilisation factor. The *relative*
+// magnitudes are what matter for the paradigm comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::sc {
+
+struct DeviceProfile {
+  std::string name;
+  int64_t memory_bytes = 0;
+  double effective_gflops = 0.0;
+
+  /// Wall-clock estimate for @p flops of DNN work.
+  double compute_time(int64_t flops) const {
+    check_arg(flops >= 0, "DeviceProfile: negative flops");
+    return static_cast<double>(flops) / (effective_gflops * 1e9);
+  }
+
+  /// True when a working set of @p bytes fits in device memory.
+  bool fits(double bytes) const {
+    check_arg(bytes >= 0.0, "DeviceProfile: negative bytes");
+    return bytes <= static_cast<double>(memory_bytes);
+  }
+};
+
+/// NVIDIA Jetson Nano, 4 GB unified memory (the paper's edge board).
+DeviceProfile jetson_nano();
+
+/// Server with an NVIDIA RTX 3090 (the paper's training/remote GPU).
+DeviceProfile rtx3090_server();
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,114 @@
+#include "sc/partition.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/serialize.hpp"
+
+namespace mtlsplit::sc {
+
+double SplitPoint::latency_s(const Channel& ch, const DeviceProfile& edge,
+                             const DeviceProfile& server) const {
+  return edge.compute_time(edge_flops) + ch.transfer_time(wire_bytes) +
+         server.compute_time(server_flops);
+}
+
+std::vector<SplitPoint> enumerate_split_points(const nn::Sequential& backbone,
+                                               const Shape& input_shape) {
+  check_arg(input_shape.size() == 4,
+            "enumerate_split_points: input must be [N,C,H,W]");
+  const int64_t total_flops = backbone.flops(input_shape);
+  std::vector<SplitPoint> points;
+  points.reserve(backbone.size() + 1);
+  for (size_t k = 0; k <= backbone.size(); ++k) {
+    SplitPoint p;
+    p.index = k;
+    p.boundary = k == 0 ? "input" : backbone.layer(k - 1).name();
+    p.cut_shape = backbone.output_shape_prefix(input_shape, k);
+    p.cut_elems = numel(p.cut_shape);
+    p.wire_bytes = wire_size_f32(p.cut_shape);
+    p.edge_flops = backbone.flops_prefix(input_shape, k);
+    p.server_flops = total_flops - p.edge_flops;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+size_t select_split_min_size(const std::vector<SplitPoint>& points) {
+  check_arg(points.size() > 1, "select_split_min_size: need cuts beyond 0");
+  size_t best = 1;
+  for (size_t k = 2; k < points.size(); ++k)
+    if (points[k].cut_elems < points[best].cut_elems) best = k;
+  return best;
+}
+
+size_t select_split_min_latency(const std::vector<SplitPoint>& points,
+                                const Channel& ch, const DeviceProfile& edge,
+                                const DeviceProfile& server) {
+  check_arg(!points.empty(), "select_split_min_latency: no cuts");
+  size_t best = 0;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < points.size(); ++k) {
+    const double lat = points[k].latency_s(ch, edge, server);
+    if (lat < best_latency) {
+      best_latency = lat;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<double> layer_saliency(nn::Sequential& backbone, const Tensor& x,
+                                   const Tensor& grad_out) {
+  // Forward through each layer (populating the backward caches), then walk
+  // the gradient back one layer at a time, recording its mean magnitude at
+  // every boundary.
+  const size_t n = backbone.size();
+  Tensor h = x;
+  for (size_t i = 0; i < n; ++i) h = backbone.layer(i).forward(h);
+  check_arg(grad_out.shape() == h.shape(),
+            "layer_saliency: gradient shape mismatch");
+
+  std::vector<double> saliency(n + 1, 0.0);
+  Tensor g = grad_out;
+  auto mean_abs = [](const Tensor& t) {
+    double acc = 0.0;
+    for (float v : t.span()) acc += std::abs(static_cast<double>(v));
+    return t.numel() > 0 ? acc / static_cast<double>(t.numel()) : 0.0;
+  };
+  saliency[n] = mean_abs(g);
+  for (size_t i = n; i-- > 0;) {
+    g = backbone.layer(i).backward(g);
+    saliency[i] = mean_abs(g);
+  }
+  return saliency;
+}
+
+size_t select_split_saliency(const std::vector<SplitPoint>& points,
+                             const std::vector<double>& saliency,
+                             double size_slack) {
+  check_arg(points.size() == saliency.size(),
+            "select_split_saliency: points/saliency size mismatch");
+  check_arg(points.size() > 1, "select_split_saliency: need cuts beyond 0");
+  check_arg(size_slack >= 1.0, "select_split_saliency: slack must be >= 1");
+
+  int64_t min_elems = std::numeric_limits<int64_t>::max();
+  for (size_t k = 1; k < points.size(); ++k)
+    min_elems = std::min(min_elems, points[k].cut_elems);
+
+  size_t best = 0;
+  double best_saliency = std::numeric_limits<double>::infinity();
+  for (size_t k = 1; k < points.size(); ++k) {
+    if (static_cast<double>(points[k].cut_elems) >
+        size_slack * static_cast<double>(min_elems))
+      continue;
+    if (saliency[k] < best_saliency) {
+      best_saliency = saliency[k];
+      best = k;
+    }
+  }
+  check_arg(best != 0, "select_split_saliency: no cut within size slack");
+  return best;
+}
+
+}  // namespace mtlsplit::sc

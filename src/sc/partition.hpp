@@ -1,0 +1,69 @@
+// Split-point selection over a Sequential backbone.
+//
+// The paper (§2.1) surveys two families of splitting heuristics; both are
+// implemented here and compared in bench_ablation_split:
+//
+//  * architecture-based (Sbai et al. [24]): cut where the transmitted
+//    tensor is smallest — minimise |Z_b| at the cut;
+//  * latency-based (Kang et al., Neurosurgeon [15]): cut where modelled
+//    end-to-end latency (edge compute + transfer + server compute) is
+//    minimal for a given channel/device pair;
+//  * saliency-based (I-Split, Cunico et al. [8]): cut after layers whose
+//    *gradient magnitude* is low, so impactful neurons stay grouped with
+//    the information that feeds them. layer_saliency() measures mean |dL/dh|
+//    at every layer boundary from real backward passes.
+//
+// MTL-Split itself fixes the cut at the backbone/heads boundary (Z_b), but
+// these tools quantify what that choice costs relative to any other cut.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "sc/channel.hpp"
+#include "sc/device.hpp"
+
+namespace mtlsplit::sc {
+
+struct SplitPoint {
+  size_t index = 0;          ///< cut after layer [index-1] (0 = RoC-like)
+  std::string boundary;      ///< name of the layer before the cut ("input")
+  Shape cut_shape;           ///< tensor shape crossing the wire
+  int64_t cut_elems = 0;
+  int64_t wire_bytes = 0;    ///< float32 wire-format size
+  int64_t edge_flops = 0;
+  int64_t server_flops = 0;
+
+  /// Modelled single-inference latency for this cut.
+  double latency_s(const Channel& ch, const DeviceProfile& edge,
+                   const DeviceProfile& server) const;
+};
+
+/// Every legal cut 0..size() of the backbone for a given input shape.
+std::vector<SplitPoint> enumerate_split_points(const nn::Sequential& backbone,
+                                               const Shape& input_shape);
+
+/// Architecture-based choice: the cut with the fewest transmitted elements
+/// (ties broken toward the earlier cut; cut 0 — pure RoC — is excluded).
+size_t select_split_min_size(const std::vector<SplitPoint>& points);
+
+/// Neurosurgeon-style choice: the cut with minimal modelled latency.
+size_t select_split_min_latency(const std::vector<SplitPoint>& points,
+                                const Channel& ch, const DeviceProfile& edge,
+                                const DeviceProfile& server);
+
+/// Mean |gradient| observed at each layer boundary (size() + 1 entries,
+/// entry k = gradient entering layer k's input) for input @p x and output
+/// gradient @p grad_out. Runs a real forward + per-layer backward.
+std::vector<double> layer_saliency(nn::Sequential& backbone, const Tensor& x,
+                                   const Tensor& grad_out);
+
+/// I-Split-style choice: among cuts whose transmitted size is within
+/// @p size_slack x the minimum, pick the one with the lowest boundary
+/// saliency (cutting where little decision-critical signal flows).
+size_t select_split_saliency(const std::vector<SplitPoint>& points,
+                             const std::vector<double>& saliency,
+                             double size_slack = 4.0);
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,58 @@
+#include "sc/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit::sc {
+
+QuantizedTensor quantize_int8(const Tensor& t) {
+  check_arg(t.numel() > 0, "quantize_int8: empty tensor");
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.values.resize(static_cast<size_t>(t.numel()));
+
+  const float lo = ops::min(t), hi = ops::max(t);
+  if (hi - lo < 1e-12f) {
+    // Degenerate (constant) tensor: map the value to code 127 exactly so
+    // the round trip is lossless instead of dividing by a denormal scale.
+    q.scale = std::max(std::abs(lo), 1e-8f) / 127.0f;
+    q.zero_point = 0;
+  } else {
+    q.scale = (hi - lo) / 255.0f;
+    q.zero_point = static_cast<int32_t>(std::lround(-lo / q.scale)) - 128;
+  }
+
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const long v = std::lround(p[i] / q.scale) + q.zero_point;
+    q.values[static_cast<size_t>(i)] =
+        static_cast<int8_t>(std::clamp<long>(v, -128, 127));
+  }
+  return q;
+}
+
+Tensor dequantize_int8(const QuantizedTensor& q) {
+  check_arg(static_cast<int64_t>(q.values.size()) == numel(q.shape),
+            "dequantize_int8: size/shape mismatch");
+  Tensor t(q.shape);
+  float* p = t.data();
+  for (size_t i = 0; i < q.values.size(); ++i)
+    p[i] = static_cast<float>(static_cast<int32_t>(q.values[i]) -
+                              q.zero_point) *
+           q.scale;
+  return t;
+}
+
+float quantization_error(const Tensor& t) {
+  const Tensor back = dequantize_int8(quantize_int8(t));
+  float worst = 0.0f;
+  const float* a = t.data();
+  const float* b = back.data();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace mtlsplit::sc

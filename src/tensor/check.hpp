@@ -1,0 +1,33 @@
+// Lightweight precondition checking used across the library.
+//
+// All public API boundaries validate their arguments and throw
+// std::invalid_argument / std::out_of_range with a formatted message.
+// Hot inner loops (conv kernels, GEMM) do not re-check; they are only
+// reachable through validated entry points.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtlsplit {
+
+/// Throws std::invalid_argument with @p msg when @p cond is false.
+inline void check_arg(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Throws std::out_of_range with @p msg when @p cond is false.
+inline void check_bounds(bool cond, const std::string& msg) {
+  if (!cond) throw std::out_of_range(msg);
+}
+
+/// Builds a message from streamable parts: msg_cat("bad dim ", 3, " of ", 4).
+template <typename... Parts>
+std::string msg_cat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace mtlsplit

@@ -1,0 +1,43 @@
+// im2col / col2im lowering used by the convolution layers.
+//
+// Convolution is implemented as GEMM over an unrolled patch matrix:
+//   cols  : [C*KH*KW, OH*OW]   (one image)
+//   weight: [OC, C*KH*KW]
+//   out   : weight * cols = [OC, OH*OW]
+// col2im is the exact adjoint and is used by the backward pass.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit {
+
+struct ConvGeom {
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t kernel_h = 0, kernel_w = 0;
+  int64_t stride = 1;
+  int64_t pad = 0;
+
+  int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+
+  void validate() const {
+    check_arg(in_c > 0 && in_h > 0 && in_w > 0, "ConvGeom: bad input dims");
+    check_arg(kernel_h > 0 && kernel_w > 0, "ConvGeom: bad kernel dims");
+    check_arg(stride > 0, "ConvGeom: stride must be positive");
+    check_arg(pad >= 0, "ConvGeom: negative padding");
+    check_arg(out_h() > 0 && out_w() > 0,
+              msg_cat("ConvGeom: empty output for input ", in_h, "x", in_w,
+                      " kernel ", kernel_h, "x", kernel_w, " stride ", stride,
+                      " pad ", pad));
+  }
+};
+
+/// Unrolls one image [C, H, W] (flattened view into @p img) into the patch
+/// matrix [C*KH*KW, OH*OW] stored in @p cols (resized by the callee).
+void im2col(const float* img, const ConvGeom& g, Tensor& cols);
+
+/// Adjoint of im2col: accumulates the patch matrix back into @p img
+/// (img must be pre-zeroed by the caller; size C*H*W).
+void col2im(const Tensor& cols, const ConvGeom& g, float* img);
+
+}  // namespace mtlsplit

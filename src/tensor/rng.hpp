@@ -1,0 +1,67 @@
+// Seeded random number generation.
+//
+// Every source of randomness in the library (weight init, data synthesis,
+// dataloader shuffling, dropout, channel noise) draws from an explicitly
+// seeded Rng, so every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean / standard deviation.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t randint(int64_t lo, int64_t hi) {
+    check_arg(lo <= hi, "Rng::randint: empty range");
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability @p p.
+  bool bernoulli(float p) {
+    return std::bernoulli_distribution(static_cast<double>(p))(engine_);
+  }
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// (data split, model init, trainer) its own stream from one master seed.
+  Rng fork() { return Rng(engine_()); }
+
+  void fill_uniform(Tensor& t, float lo, float hi) {
+    for (float& v : t.span()) v = uniform(lo, hi);
+  }
+  void fill_normal(Tensor& t, float mean, float stddev) {
+    for (float& v : t.span()) v = normal(mean, stddev);
+  }
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(randint(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mtlsplit

@@ -1,0 +1,55 @@
+// Byte serialisation of tensors — the split-computing wire format.
+//
+// This is the format the edge device uses to ship the flattened shared
+// feature Z_b to the remote server (paper Fig. 1). Layout, little-endian:
+//
+//   magic   u32  'MTSZ' (0x4D54535A)
+//   dtype   u8   0 = float32, 1 = int8 (quantised payloads, see sc/quantize)
+//   ndim    u8
+//   dims    i64 * ndim
+//   scale   f32  (int8 only: dequantisation scale; absent for f32)
+//   zero    i32  (int8 only: zero point; absent for f32)
+//   payload dtype-sized * numel
+//   crc32   u32  over everything above
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mtlsplit {
+
+enum class WireDtype : uint8_t { kFloat32 = 0, kInt8 = 1 };
+
+/// CRC-32 (IEEE 802.3 polynomial) of a byte range.
+uint32_t crc32(const uint8_t* data, size_t len);
+
+/// Serialises a float32 tensor into the wire format.
+std::vector<uint8_t> serialize_tensor(const Tensor& t);
+
+/// Serialises an int8 payload (already-quantised values + affine params).
+std::vector<uint8_t> serialize_int8(const Shape& shape,
+                                    const std::vector<int8_t>& values,
+                                    float scale, int32_t zero_point);
+
+/// Parsed wire message (either dtype).
+struct WireTensor {
+  WireDtype dtype = WireDtype::kFloat32;
+  Shape shape;
+  Tensor f32;                  // valid when dtype == kFloat32
+  std::vector<int8_t> i8;      // valid when dtype == kInt8
+  float scale = 1.0f;          // int8 affine params
+  int32_t zero_point = 0;
+};
+
+/// Parses and CRC-validates a wire message; throws std::invalid_argument on
+/// truncation, bad magic, or checksum mismatch.
+WireTensor deserialize_tensor(const std::vector<uint8_t>& bytes);
+
+/// Bytes a float32 tensor of @p shape occupies on the wire (header+payload).
+int64_t wire_size_f32(const Shape& shape);
+/// Bytes an int8 tensor of @p shape occupies on the wire.
+int64_t wire_size_i8(const Shape& shape);
+
+}  // namespace mtlsplit

@@ -1,0 +1,300 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mtlsplit::ops {
+
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  check_arg(same_shape(a.shape(), b.shape()),
+            msg_cat(op, ": shape mismatch ", shape_str(a.shape()), " vs ",
+                    shape_str(b.shape())));
+}
+
+template <typename F>
+Tensor map2(const Tensor& a, const Tensor& b, const char* op, F f) {
+  require_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor map1(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return map2(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return map2(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return map2(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return map2(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return map1(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return map1(a, [s](float x) { return x * s; });
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  for (float& v : a.span()) v *= s;
+}
+
+void axpy_(Tensor& y, float alpha, const Tensor& x) {
+  require_same_shape(y, x, "axpy_");
+  float* py = y.data();
+  const float* px = x.data();
+  const int64_t n = y.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+Tensor neg(const Tensor& a) {
+  return map1(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return map1(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return map1(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return map1(a, [](float x) { return std::sqrt(x); });
+}
+Tensor abs(const Tensor& a) {
+  return map1(a, [](float x) { return std::abs(x); });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  check_arg(lo <= hi, "clamp: lo > hi");
+  return map1(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish: accumulate in double to keep reductions over large
+  // activation maps accurate enough for the finite-difference tests.
+  double acc = 0.0;
+  for (float v : a.span()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  check_arg(a.numel() > 0, "mean: empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const Tensor& a) {
+  check_arg(a.numel() > 0, "max: empty tensor");
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : a.span()) m = std::max(m, v);
+  return m;
+}
+
+float min(const Tensor& a) {
+  check_arg(a.numel() > 0, "min: empty tensor");
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : a.span()) m = std::min(m, v);
+  return m;
+}
+
+float sq_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.span()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& a) {
+  check_arg(a.dim() == 2, "argmax_rows: tensor must be 2-d");
+  const int64_t n = a.size(0), c = a.size(1);
+  check_arg(c > 0, "argmax_rows: zero columns");
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  const float* p = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_arg(a.dim() == 2, "sum_rows: tensor must be 2-d");
+  const int64_t n = a.size(0), c = a.size(1);
+  Tensor out({c});
+  const float* p = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    for (int64_t j = 0; j < c; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_arg(a.dim() == 2 && b.dim() == 2, "matmul: operands must be 2-d");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  check_arg(b.size(0) == k,
+            msg_cat("matmul: inner dims differ, ", shape_str(a.shape()),
+                    " vs ", shape_str(b.shape())));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: the innermost loop streams both B and C rows, which
+  // the compiler auto-vectorizes; good enough for the CPU-scale models here.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_arg(a.dim() == 2 && b.dim() == 2, "matmul_tn: operands must be 2-d");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  check_arg(b.size(0) == m,
+            msg_cat("matmul_tn: outer dims differ, ", shape_str(a.shape()),
+                    " vs ", shape_str(b.shape())));
+  Tensor c({k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[kk, j] = sum_i A[i, kk] * B[i, j]
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_arg(a.dim() == 2 && b.dim() == 2, "matmul_nt: operands must be 2-d");
+  const int64_t m = a.size(0), n = a.size(1), k = b.size(0);
+  check_arg(b.size(1) == n,
+            msg_cat("matmul_nt: inner dims differ, ", shape_str(a.shape()),
+                    " vs ", shape_str(b.shape())));
+  Tensor c({m, k});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i, kk] = dot(A row i, B row kk): both rows are contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    float* crow = pc + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = pb + kk * n;
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(arow[j]) * brow[j];
+      crow[kk] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  check_arg(a.dim() == 2, "transpose2d: tensor must be 2-d");
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+void add_row_bias_(Tensor& a, const Tensor& bias) {
+  check_arg(a.dim() == 2 && bias.dim() == 1 && bias.size(0) == a.size(1),
+            msg_cat("add_row_bias_: ", shape_str(a.shape()), " + ",
+                    shape_str(bias.shape())));
+  const int64_t n = a.size(0), c = a.size(1);
+  float* pa = a.data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = pa + i * c;
+    for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
+  }
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  check_arg(a.dim() == 2, "softmax_rows: tensor must be 2-d");
+  const int64_t n = a.size(0), c = a.size(1);
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    float* orow = po + i * c;
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      z += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  check_arg(a.dim() == 2, "log_softmax_rows: tensor must be 2-d");
+  const int64_t n = a.size(0), c = a.size(1);
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    float* orow = po + i * c;
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    const float logz = m + static_cast<float>(std::log(z));
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
+  }
+  return out;
+}
+
+}  // namespace mtlsplit::ops

@@ -1,0 +1,117 @@
+// Activation layers: reference values, derivative checks (analytic vs
+// finite differences), shape preservation. Parameterised across all five
+// activation kinds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "test_util.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using testing::expect_gradients_match;
+using testing::smooth_random;
+
+TEST(ReLU, ReferenceValues) {
+  nn::ReLU relu;
+  const Tensor x = Tensor::from_values({-2.0f, -0.1f, 0.0f, 0.1f, 3.0f});
+  const Tensor y = relu.forward(x);
+  EXPECT_TRUE(y.equals(Tensor::from_values({0, 0, 0, 0.1f, 3.0f})));
+}
+
+TEST(Sigmoid, ReferenceValues) {
+  nn::Sigmoid s;
+  const Tensor y = s.forward(Tensor::from_values({0.0f}));
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  const Tensor y2 = s.forward(Tensor::from_values({100.0f, -100.0f}));
+  EXPECT_NEAR(y2[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(y2[1], 0.0f, 1e-6f);
+}
+
+TEST(HardSigmoid, PiecewiseDefinition) {
+  nn::HardSigmoid hs;
+  const Tensor y =
+      hs.forward(Tensor::from_values({-4.0f, -3.0f, 0.0f, 3.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+  EXPECT_FLOAT_EQ(y[4], 1.0f);
+}
+
+TEST(HardSwish, MatchesXTimesHardSigmoid) {
+  nn::HardSwish hsw;
+  nn::HardSigmoid hsg;
+  Rng rng(1);
+  Tensor x({100});
+  rng.fill_uniform(x, -5.0f, 5.0f);
+  const Tensor y = hsw.forward(x);
+  const Tensor g = hsg.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y[i], x[i] * g[i], 1e-5f);
+}
+
+TEST(SiLU, MatchesXTimesSigmoid) {
+  nn::SiLU silu;
+  Rng rng(2);
+  Tensor x({100});
+  rng.fill_uniform(x, -5.0f, 5.0f);
+  const Tensor y = silu.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y[i], x[i] / (1.0f + std::exp(-x[i])), 1e-5f);
+}
+
+// Parameterised gradient check across every activation kind.
+using ActFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+class ActivationGrad
+    : public ::testing::TestWithParam<std::pair<const char*, ActFactory>> {};
+
+TEST_P(ActivationGrad, MatchesFiniteDifferences) {
+  auto [name, factory] = GetParam();
+  auto act = factory();
+  Rng rng(42);
+  Tensor x = smooth_random({3, 7}, rng);
+  expect_gradients_match(*act, x, rng);
+}
+
+TEST_P(ActivationGrad, PreservesShape) {
+  auto [name, factory] = GetParam();
+  auto act = factory();
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(act->output_shape(s), s);
+  Tensor x(s, 0.5f);
+  EXPECT_EQ(act->forward(x).shape(), s);
+  EXPECT_TRUE(act->parameters().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ActivationGrad,
+    ::testing::Values(
+        std::make_pair("ReLU",
+                       ActFactory([] { return std::make_unique<nn::ReLU>(); })),
+        std::make_pair("Sigmoid", ActFactory([] {
+                         return std::make_unique<nn::Sigmoid>();
+                       })),
+        std::make_pair("HardSigmoid", ActFactory([] {
+                         return std::make_unique<nn::HardSigmoid>();
+                       })),
+        std::make_pair("HardSwish", ActFactory([] {
+                         return std::make_unique<nn::HardSwish>();
+                       })),
+        std::make_pair("SiLU", ActFactory([] {
+                         return std::make_unique<nn::SiLU>();
+                       }))));
+
+TEST(Activation, BackwardShapeValidated) {
+  nn::ReLU relu;
+  relu.forward(Tensor({2, 3}));
+  EXPECT_THROW(relu.backward(Tensor({3, 2})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,93 @@
+// Bottleneck autoencoder codec for Z_b compression (paper §2.1's
+// encoder/decoder formulation).
+#include <gtest/gtest.h>
+
+#include "sc/bottleneck.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+/// Features with genuine low-rank structure: rank-r factors + small noise.
+Tensor low_rank_features(int64_t n, int64_t d, int64_t r, Rng& rng) {
+  Tensor u({n, r}), v({r, d});
+  rng.fill_normal(u, 0.0f, 1.0f);
+  rng.fill_normal(v, 0.0f, 1.0f);
+  Tensor f = ops::matmul(u, v);
+  for (float& x : f.span()) x += rng.normal(0.0f, 0.01f);
+  return f;
+}
+
+TEST(Bottleneck, ValidatesConfig) {
+  EXPECT_THROW(sc::BottleneckCodec({.feature_dim = 0, .code_dim = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(sc::BottleneckCodec({.feature_dim = 8, .code_dim = 8}),
+               std::invalid_argument);
+  EXPECT_THROW(sc::BottleneckCodec({.feature_dim = 8, .code_dim = 0}),
+               std::invalid_argument);
+}
+
+TEST(Bottleneck, ShapesAndRatio) {
+  sc::BottleneckCodec codec({.feature_dim = 32, .code_dim = 8});
+  EXPECT_EQ(codec.feature_dim(), 32);
+  EXPECT_EQ(codec.code_dim(), 8);
+  EXPECT_DOUBLE_EQ(codec.compression_ratio(), 4.0);
+  Rng rng(1);
+  Tensor zb({5, 32});
+  rng.fill_normal(zb, 0.0f, 1.0f);
+  const Tensor code = codec.encode(zb);
+  EXPECT_EQ(code.shape(), (Shape{5, 8}));
+  EXPECT_EQ(codec.decode(code).shape(), (Shape{5, 32}));
+  EXPECT_THROW(codec.encode(Tensor({5, 16})), std::invalid_argument);
+  EXPECT_THROW(codec.decode(Tensor({5, 32})), std::invalid_argument);
+}
+
+TEST(Bottleneck, TrainingReducesReconstructionError) {
+  Rng rng(2);
+  const Tensor features = low_rank_features(256, 24, 4, rng);
+  sc::BottleneckCodec codec(
+      {.feature_dim = 24, .code_dim = 6, .lr = 3e-3f, .seed = 3});
+  const float before = codec.reconstruction_error(features);
+  codec.train(features, 30);
+  const float after = codec.reconstruction_error(features);
+  EXPECT_LT(after, before * 0.3f)
+      << "training should cut the rank-4 data's error dramatically";
+}
+
+TEST(Bottleneck, RecoversLowRankStructureAlmostExactly) {
+  // Rank-2 data through a width-4 bottleneck: near-lossless is achievable.
+  Rng rng(4);
+  const Tensor features = low_rank_features(256, 16, 2, rng);
+  sc::BottleneckCodec codec(
+      {.feature_dim = 16, .code_dim = 4, .lr = 5e-3f, .seed = 5});
+  codec.train(features, 60);
+  const float err = codec.reconstruction_error(features);
+  const float signal = ops::sq_norm(features) /
+                       static_cast<float>(features.numel());
+  EXPECT_LT(err, 0.05f * signal);
+}
+
+TEST(Bottleneck, TrainValidatesInput) {
+  sc::BottleneckCodec codec({.feature_dim = 8, .code_dim = 2});
+  Tensor bad({4, 7});
+  EXPECT_THROW(codec.train(bad, 1), std::invalid_argument);
+  Tensor few({8, 8});  // fewer rows than batch_size (32)
+  EXPECT_THROW(codec.train(few, 1), std::invalid_argument);
+  Tensor ok({64, 8});
+  EXPECT_THROW(codec.train(ok, 0), std::invalid_argument);
+}
+
+TEST(Bottleneck, DeterministicPerSeed) {
+  Rng rng(6);
+  const Tensor features = low_rank_features(128, 12, 3, rng);
+  sc::BottleneckCodec a({.feature_dim = 12, .code_dim = 3, .seed = 7});
+  sc::BottleneckCodec b({.feature_dim = 12, .code_dim = 3, .seed = 7});
+  a.train(features, 5);
+  b.train(features, 5);
+  Tensor probe({2, 12}, 0.5f);
+  EXPECT_TRUE(a.encode(probe).equals(b.encode(probe)));
+}
+
+}  // namespace
+}  // namespace mtlsplit

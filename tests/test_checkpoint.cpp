@@ -1,0 +1,174 @@
+// Weight checkpointing: round trips, validation, model-level usage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mtl/model_factory.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "/tmp/mtlsplit_ckpt_test.bin";
+};
+
+TEST(CheckpointBytes, RoundTripsValues) {
+  Rng rng(1);
+  nn::Sequential a;
+  a.emplace<nn::Linear>(4, 6, rng);
+  a.emplace<nn::Linear>(6, 2, rng);
+  const auto bytes = nn::parameters_to_bytes(a.parameters());
+
+  Rng rng2(99);  // different init
+  nn::Sequential b;
+  b.emplace<nn::Linear>(4, 6, rng2);
+  b.emplace<nn::Linear>(6, 2, rng2);
+  nn::parameters_from_bytes(b.parameters(), bytes);
+
+  Tensor x({3, 4});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  EXPECT_TRUE(a.forward(x).equals(b.forward(x)));
+}
+
+TEST(CheckpointBytes, ZeroesGradientsOnLoad) {
+  Rng rng(2);
+  nn::Linear fc(3, 3, rng);
+  fc.forward(Tensor({2, 3}, 1.0f));
+  fc.backward(Tensor({2, 3}, 1.0f));
+  EXPECT_GT(ops::sq_norm(fc.weight().grad), 0.0f);
+  const auto bytes = nn::parameters_to_bytes(fc.parameters());
+  nn::parameters_from_bytes(fc.parameters(), bytes);
+  EXPECT_FLOAT_EQ(ops::sq_norm(fc.weight().grad), 0.0f);
+}
+
+TEST(CheckpointBytes, RejectsCountMismatch) {
+  Rng rng(3);
+  nn::Linear a(2, 2, rng);
+  nn::Linear b(2, 2, rng, /*with_bias=*/false);  // one fewer parameter
+  const auto bytes = nn::parameters_to_bytes(a.parameters());
+  auto params = b.parameters();
+  EXPECT_THROW(nn::parameters_from_bytes(params, bytes),
+               std::invalid_argument);
+}
+
+TEST(CheckpointBytes, RejectsShapeMismatch) {
+  Rng rng(4);
+  nn::Linear a(2, 3, rng);
+  nn::Linear b(3, 2, rng);
+  const auto bytes = nn::parameters_to_bytes(a.parameters());
+  auto params = b.parameters();
+  EXPECT_THROW(nn::parameters_from_bytes(params, bytes),
+               std::invalid_argument);
+}
+
+TEST(CheckpointBytes, RejectsCorruptedBlob) {
+  Rng rng(5);
+  nn::Linear a(2, 2, rng);
+  auto bytes = nn::parameters_to_bytes(a.parameters());
+  bytes[bytes.size() / 2] ^= 0xFF;  // flip inside some tensor payload
+  auto params = a.parameters();
+  EXPECT_THROW(nn::parameters_from_bytes(params, bytes),
+               std::invalid_argument);
+  bytes.clear();
+  EXPECT_THROW(nn::parameters_from_bytes(params, bytes),
+               std::invalid_argument);
+}
+
+TEST_F(CheckpointFile, SaveLoadFile) {
+  Rng rng(6);
+  nn::Sequential a;
+  a.emplace<nn::Linear>(5, 4, rng);
+  nn::save_parameters(a.parameters(), path_);
+
+  Rng rng2(7);
+  nn::Sequential b;
+  b.emplace<nn::Linear>(5, 4, rng2);
+  nn::load_parameters(b.parameters(), path_);
+  Tensor x({2, 5}, 0.3f);
+  EXPECT_TRUE(a.forward(x).equals(b.forward(x)));
+}
+
+TEST_F(CheckpointFile, MissingFileThrows) {
+  Rng rng(8);
+  nn::Linear fc(2, 2, rng);
+  auto params = fc.parameters();
+  EXPECT_THROW(nn::load_parameters(params, "/nonexistent/dir/x.bin"),
+               std::runtime_error);
+  EXPECT_THROW(nn::save_parameters(params, "/nonexistent/dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointFile, FullMtlModelRoundTripIncludingBnStats) {
+  core::ModelFactoryConfig cfg;
+  cfg.backbone = models::BackboneKind::kMobileNetV3;
+  cfg.image_shape = {3, 16, 16};
+  Rng rng(9);
+  auto a = core::make_mtl_model(cfg, {{"t0", 4}, {"t1", 3}}, rng);
+  // A training-mode forward moves the BatchNorm running statistics away
+  // from their init; the checkpoint must carry them (they change eval
+  // outputs).
+  Tensor warm({4, 3, 16, 16});
+  rng.fill_uniform(warm, 0.0f, 1.0f);
+  (void)a->forward(warm);
+  nn::save_parameters(a->all_params(), path_, a->all_buffers());
+
+  Rng rng2(10);
+  auto b = core::make_mtl_model(cfg, {{"t0", 4}, {"t1", 3}}, rng2);
+  nn::load_parameters(b->all_params(), path_, b->all_buffers());
+
+  a->set_training(false);
+  b->set_training(false);
+  Tensor x({2, 3, 16, 16});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  const auto la = a->forward(x);
+  const auto lb = b->forward(x);
+  for (size_t j = 0; j < la.size(); ++j) EXPECT_TRUE(la[j].equals(lb[j]));
+}
+
+TEST(CheckpointModule, SaveLoadModuleCarriesBuffers) {
+  Rng rng(11);
+  nn::Sequential a;
+  a.emplace<nn::Conv2d>(2, 4, 3, 1, 1, rng, false);
+  a.emplace<nn::BatchNorm2d>(4);
+  Tensor warm({4, 2, 6, 6});
+  rng.fill_normal(warm, 1.0f, 2.0f);
+  (void)a.forward(warm);
+  ASSERT_EQ(a.buffers().size(), 2u);
+
+  const std::string path = "/tmp/mtlsplit_ckpt_module.bin";
+  nn::save_module(a, path);
+  Rng rng2(12);
+  nn::Sequential b;
+  b.emplace<nn::Conv2d>(2, 4, 3, 1, 1, rng2, false);
+  b.emplace<nn::BatchNorm2d>(4);
+  nn::load_module(b, path);
+  std::remove(path.c_str());
+
+  a.set_training(false);
+  b.set_training(false);
+  Tensor x({1, 2, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_TRUE(a.forward(x).equals(b.forward(x)));
+}
+
+TEST(CheckpointBytes, BufferCountMismatchRejected) {
+  Rng rng(13);
+  nn::BatchNorm2d bn(2);
+  const auto bytes =
+      nn::parameters_to_bytes(bn.parameters(), bn.buffers());
+  auto params = bn.parameters();
+  // Loading without declaring the buffers must fail loudly.
+  EXPECT_THROW(nn::parameters_from_bytes(params, bytes),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

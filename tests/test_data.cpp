@@ -1,0 +1,190 @@
+// Dataset container, batching, loaders, splits, noise transforms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "data/noise.hpp"
+
+namespace mtlsplit {
+namespace {
+
+data::MultiTaskDataset tiny_dataset(int64_t k = 10) {
+  Tensor images({k, 1, 2, 2});
+  for (int64_t i = 0; i < images.numel(); ++i)
+    images[i] = static_cast<float>(i);
+  std::vector<std::vector<int64_t>> labels(2);
+  for (int64_t i = 0; i < k; ++i) {
+    labels[0].push_back(i % 3);
+    labels[1].push_back(i % 2);
+  }
+  return data::MultiTaskDataset(std::move(images), std::move(labels),
+                                {{"a", 3}, {"b", 2}});
+}
+
+TEST(MultiTaskDataset, BasicAccessors) {
+  const auto ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 10);
+  EXPECT_EQ(ds.num_tasks(), 2);
+  EXPECT_EQ(ds.task(0).name, "a");
+  EXPECT_EQ(ds.task(1).num_classes, 2);
+  EXPECT_EQ(ds.image_shape(), (Shape{1, 2, 2}));
+  EXPECT_THROW(ds.task(2), std::out_of_range);
+  EXPECT_THROW(ds.labels(2), std::out_of_range);
+}
+
+TEST(MultiTaskDataset, ValidatesConstruction) {
+  Tensor images({2, 1, 2, 2});
+  // Too few labels.
+  EXPECT_THROW(data::MultiTaskDataset(images, {{0}}, {{"a", 2}}),
+               std::invalid_argument);
+  // Label out of class range.
+  EXPECT_THROW(data::MultiTaskDataset(images, {{0, 5}}, {{"a", 2}}),
+               std::invalid_argument);
+  // Task with < 2 classes.
+  EXPECT_THROW(data::MultiTaskDataset(images, {{0, 0}}, {{"a", 1}}),
+               std::invalid_argument);
+}
+
+TEST(MultiTaskDataset, SubsetGathersRows) {
+  const auto ds = tiny_dataset();
+  const auto sub = ds.subset({3, 7});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels(0)[0], 3 % 3);
+  EXPECT_EQ(sub.labels(1)[1], 7 % 2);
+  // First image of subset is sample 3's pixels (values 12..15).
+  EXPECT_FLOAT_EQ(sub.images()[0], 12.0f);
+  EXPECT_THROW(ds.subset({99}), std::out_of_range);
+}
+
+TEST(MultiTaskDataset, SelectTasksProjects) {
+  const auto ds = tiny_dataset();
+  const auto only_b = ds.select_tasks({1});
+  EXPECT_EQ(only_b.num_tasks(), 1);
+  EXPECT_EQ(only_b.task(0).name, "b");
+  EXPECT_EQ(only_b.size(), ds.size());
+  // Reordering is allowed too.
+  const auto swapped = ds.select_tasks({1, 0});
+  EXPECT_EQ(swapped.task(0).name, "b");
+  EXPECT_EQ(swapped.task(1).name, "a");
+  EXPECT_THROW(ds.select_tasks({5}), std::out_of_range);
+  EXPECT_THROW(ds.select_tasks({}), std::invalid_argument);
+}
+
+TEST(GatherBatch, CopiesImagesAndLabels) {
+  const auto ds = tiny_dataset();
+  const std::vector<int64_t> idx = {1, 4};
+  const data::Batch b = data::gather_batch(ds, idx);
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.images.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(b.images[0], 4.0f);  // sample 1 starts at pixel 4
+  EXPECT_EQ(b.labels[0][1], 4 % 3);
+}
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  const auto ds = tiny_dataset(11);
+  data::DataLoader loader(ds, 4, /*shuffle=*/true);
+  Rng rng(1);
+  loader.reset(rng);
+  data::Batch b;
+  std::multiset<float> seen;
+  int64_t total = 0;
+  while (loader.next(b)) {
+    total += b.size();
+    for (int64_t i = 0; i < b.size(); ++i)
+      seen.insert(b.images[i * 4]);  // first pixel identifies the sample
+  }
+  EXPECT_EQ(total, 11);
+  EXPECT_EQ(seen.size(), 11u);  // no duplicates
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+}
+
+TEST(DataLoader, DropLastSkipsPartialBatch) {
+  const auto ds = tiny_dataset(10);
+  data::DataLoader loader(ds, 4, /*shuffle=*/false, /*drop_last=*/true);
+  Rng rng(2);
+  loader.reset(rng);
+  data::Batch b;
+  int64_t batches = 0;
+  while (loader.next(b)) {
+    EXPECT_EQ(b.size(), 4);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 2);
+  EXPECT_EQ(loader.batches_per_epoch(), 2);
+}
+
+TEST(DataLoader, ShuffleIsSeedDeterministic) {
+  const auto ds = tiny_dataset(8);
+  data::DataLoader l1(ds, 8, true), l2(ds, 8, true);
+  Rng r1(3), r2(3);
+  l1.reset(r1);
+  l2.reset(r2);
+  data::Batch b1, b2;
+  ASSERT_TRUE(l1.next(b1));
+  ASSERT_TRUE(l2.next(b2));
+  EXPECT_TRUE(b1.images.equals(b2.images));
+}
+
+TEST(TrainTestSplit, PartitionsWithoutOverlap) {
+  const auto ds = tiny_dataset(20);
+  Rng rng(4);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 5);
+  EXPECT_EQ(split.train.size(), 15);
+  std::multiset<float> ids;
+  for (int64_t i = 0; i < split.train.size(); ++i)
+    ids.insert(split.train.images()[i * 4]);
+  for (int64_t i = 0; i < split.test.size(); ++i)
+    ids.insert(split.test.images()[i * 4]);
+  EXPECT_EQ(ids.size(), 20u);  // every sample exactly once
+  EXPECT_THROW(data::train_test_split(ds, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(data::train_test_split(ds, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Noise, SaltAndPepperRate) {
+  Tensor images({4, 3, 16, 16}, 0.5f);
+  Rng rng(5);
+  data::salt_and_pepper(images, 0.15f, rng);
+  int64_t corrupted = 0;
+  const int64_t plane = 16 * 16;
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = 0; j < plane; ++j) {
+      const float v = images[(i * 3) * plane + j];
+      if (v == 0.0f || v == 1.0f) {
+        // All channels of a corrupted pixel carry the same extreme.
+        EXPECT_EQ(images[(i * 3 + 1) * plane + j], v);
+        EXPECT_EQ(images[(i * 3 + 2) * plane + j], v);
+        ++corrupted;
+      }
+    }
+  EXPECT_NEAR(static_cast<double>(corrupted) / (4 * plane), 0.15, 0.03);
+}
+
+TEST(Noise, GaussianStaysInRange) {
+  Tensor images({2, 1, 8, 8}, 0.5f);
+  Rng rng(6);
+  data::gaussian_noise(images, 0.5f, rng);
+  for (float v : images.span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Noise, LabelNoiseFlipRate) {
+  std::vector<int64_t> labels(10000, 1);
+  Rng rng(7);
+  data::label_noise(labels, 4, 0.4f, rng);
+  int64_t changed = 0;
+  for (int64_t y : labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+    if (y != 1) ++changed;
+  }
+  // 40% flipped, of which 3/4 land on a different class.
+  EXPECT_NEAR(static_cast<double>(changed) / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,151 @@
+// End-to-end integration tests: training lifts accuracy above chance, MTL
+// and STL pipelines run through the full public API, and a trained model
+// serves identical predictions through the split-computing path.
+#include <gtest/gtest.h>
+
+#include "data/shapes3d.hpp"
+#include "mtl/finetune.hpp"
+#include "mtl/model_factory.hpp"
+#include "mtl/trainer.hpp"
+#include "sc/deployment.hpp"
+
+namespace mtlsplit {
+namespace {
+
+TEST(Integration, TrainingBeatsChanceOnShapes) {
+  data::Shapes3dConfig dc;
+  dc.count = 1600;  // enough synthetic data to avoid pure memorisation
+  dc.image_size = 16;
+  dc.noise_frac = 0.0f;
+  const auto full = data::make_shapes3d_t1t2(dc);
+  Rng split_rng(1);
+  const auto split = data::train_test_split(full, 0.2, split_rng);
+
+  Rng rng(2);
+  core::ModelFactoryConfig mc;
+  mc.backbone = models::BackboneKind::kMobileNetV3;
+  mc.image_shape = {3, 16, 16};
+  mc.head_hidden_dim = 32;
+  auto model =
+      core::make_mtl_model(mc, {full.task(0), full.task(1)}, rng);
+
+  core::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  tc.lr = 4e-3f;
+  core::train_model(*model, split.train, tc);
+  const auto acc = core::evaluate_model(*model, split.test);
+
+  // Chance is 1/8 = 12.5% (scale) and 1/4 = 25% (shape); training must
+  // clear both by a wide margin on the clean toy data.
+  EXPECT_GT(acc[0], 0.30) << "scale task stuck at chance";
+  EXPECT_GT(acc[1], 0.45) << "shape task stuck at chance";
+}
+
+TEST(Integration, TrainedModelIdenticalThroughScWire) {
+  data::Shapes3dConfig dc;
+  dc.count = 200;
+  dc.image_size = 16;
+  const auto ds = data::make_shapes3d_t1t2(dc);
+
+  Rng rng(3);
+  core::ModelFactoryConfig mc;
+  mc.backbone = models::BackboneKind::kEfficientNet;
+  mc.image_shape = {3, 16, 16};
+  auto model = core::make_mtl_model(mc, {ds.task(0), ds.task(1)}, rng);
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  core::train_model(*model, ds, tc);
+  model->set_training(false);
+
+  sc::Channel ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment dep(*model, ch, sc::jetson_nano(), sc::rtx3090_server());
+  const data::Batch b = data::gather_batch(ds, std::vector<int64_t>{0, 1, 2});
+  const auto mono = model->forward(b.images);
+  const auto wire = dep.infer(b.images);
+  for (size_t j = 0; j < mono.size(); ++j)
+    EXPECT_TRUE(wire.logits[j].equals(mono[j]));
+}
+
+TEST(Integration, FinetuneAddsNewTaskWithoutForgetting) {
+  // Paper §3.3: attach a new head to a trained backbone and fine-tune with
+  // the backbone frozen — original task performance must be preserved
+  // exactly, and the new head must learn.
+  data::Shapes3dConfig dc;
+  dc.count = 500;
+  dc.image_size = 16;
+  dc.noise_frac = 0.0f;
+  const auto six = data::make_shapes3d(dc);
+  const auto shape_only = six.select_tasks({data::kShapes3dShapeTask});
+  const auto hue_only = six.select_tasks({2});  // object hue, a new task
+
+  Rng rng(4);
+  core::ModelFactoryConfig mc;
+  mc.backbone = models::BackboneKind::kMobileNetV3;
+  mc.image_shape = {3, 16, 16};
+  mc.head_hidden_dim = 32;
+  auto model = core::make_stl_model(mc, shape_only.task(0), rng);
+  core::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 3e-3f;
+  core::train_model(*model, shape_only, tc);
+  const auto acc_before = core::evaluate_model(*model, shape_only);
+
+  // Build the new-task model reusing nothing (fresh head) but the same
+  // backbone object is not shareable across models; instead we emulate the
+  // §3.3 flow on the same model: swap dataset to the new task via a second
+  // model whose backbone weights are copied.
+  auto extended = core::make_mtl_model(
+      mc, {shape_only.task(0), hue_only.task(0)}, rng);
+  {
+    const auto src = model->backbone_params();
+    const auto dst = extended->backbone_params();
+    ASSERT_EQ(src.size(), dst.size());
+    for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+    const auto hsrc = model->head_params(0);
+    const auto hdst = extended->head_params(0);
+    for (size_t i = 0; i < hsrc.size(); ++i) hdst[i]->value = hsrc[i]->value;
+  }
+
+  const auto joint = six.select_tasks({data::kShapes3dShapeTask, 2});
+  core::FinetuneConfig fc;
+  fc.epochs = 3;
+  fc.batch_size = 16;
+  fc.alpha = 3e-3f;
+  fc.eta = 0.0f;  // frozen backbone
+  core::finetune_model(*extended, joint, fc);
+
+  const auto acc_after = core::evaluate_model(*extended, joint);
+  // Old task survives (frozen psi, head fine-tuned on the same data).
+  EXPECT_GT(acc_after[0], acc_before[0] - 0.08);
+  // New task learned something: object hue chance is 1/8.
+  EXPECT_GT(acc_after[1], 0.30);
+}
+
+TEST(Integration, MtlSharedBackboneSavesMemoryVsStl) {
+  // The §4.2 LoC argument at edge scale: N STL networks vs one MTL-Split
+  // backbone + N heads.
+  Rng rng(5);
+  core::ModelFactoryConfig mc;
+  mc.backbone = models::BackboneKind::kEfficientNet;
+  mc.image_shape = {3, 20, 20};
+  const std::vector<data::TaskSpec> tasks = {{"a", 3}, {"b", 4}, {"c", 2}};
+
+  auto mtl = core::make_mtl_model(mc, tasks, rng);
+  sc::LocDeployment mtl_dep(*mtl, sc::jetson_nano());
+  const double mtl_bytes = mtl_dep.memory_bytes({3, 20, 20});
+
+  double stl_bytes = 0.0;
+  for (const auto& t : tasks) {
+    auto stl = core::make_stl_model(mc, t, rng);
+    sc::LocDeployment stl_dep(*stl, sc::jetson_nano());
+    stl_bytes += stl_dep.memory_bytes({3, 20, 20});
+  }
+  EXPECT_LT(mtl_bytes, stl_bytes * 0.5)
+      << "shared backbone should save well over half the memory for 3 tasks";
+}
+
+}  // namespace
+}  // namespace mtlsplit

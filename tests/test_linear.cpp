@@ -1,0 +1,81 @@
+// Linear layer: known-value forward, gradient checks, shape contracts.
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "test_util.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using testing::expect_gradients_match;
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(1);
+  nn::Linear fc(2, 3, rng);
+  // Overwrite weights with known values: W = [[1,2],[3,4],[5,6]], b = [1,1,1].
+  fc.weight().value = Tensor({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  fc.bias().value = Tensor({3}, 1.0f);
+  const Tensor x({1, 2}, std::vector<float>{10, 20});
+  const Tensor y = fc.forward(x);
+  EXPECT_TRUE(y.equals(Tensor({1, 3}, std::vector<float>{51, 111, 171})));
+}
+
+TEST(Linear, OutputShape) {
+  Rng rng(2);
+  nn::Linear fc(5, 7, rng);
+  EXPECT_EQ(fc.output_shape({3, 5}), (Shape{3, 7}));
+  EXPECT_THROW(fc.output_shape({3, 4}), std::invalid_argument);
+  EXPECT_EQ(fc.num_params(), 5 * 7 + 7);
+}
+
+TEST(Linear, RejectsWrongInput) {
+  Rng rng(3);
+  nn::Linear fc(4, 2, rng);
+  EXPECT_THROW(fc.forward(Tensor({2, 5})), std::invalid_argument);
+  EXPECT_THROW(fc.forward(Tensor({4})), std::invalid_argument);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences) {
+  Rng rng(4);
+  nn::Linear fc(4, 3, rng);
+  Tensor x({5, 4});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  expect_gradients_match(fc, x, rng);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(5);
+  nn::Linear fc(3, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(fc.parameters().size(), 1u);
+  EXPECT_EQ(fc.num_params(), 6);
+  Tensor x({2, 3});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  expect_gradients_match(fc, x, rng);
+}
+
+TEST(Linear, GradientAccumulatesAcrossCalls) {
+  Rng rng(6);
+  nn::Linear fc(2, 2, rng);
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  Tensor g({1, 2}, std::vector<float>{1, 1});
+  fc.forward(x);
+  fc.backward(g);
+  const Tensor after_one = fc.weight().grad;
+  fc.forward(x);
+  fc.backward(g);
+  EXPECT_TRUE(fc.weight().grad.allclose(
+      ops::mul_scalar(after_one, 2.0f), 1e-5f));
+  fc.zero_grad();
+  EXPECT_FLOAT_EQ(ops::sq_norm(fc.weight().grad), 0.0f);
+}
+
+TEST(Linear, BackwardValidatesShape) {
+  Rng rng(7);
+  nn::Linear fc(2, 3, rng);
+  fc.forward(Tensor({4, 2}));
+  EXPECT_THROW(fc.backward(Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(fc.backward(Tensor({3, 3})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

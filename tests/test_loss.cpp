@@ -1,0 +1,110 @@
+// Loss functions: reference values and gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits({2, 4}, 0.0f);
+  const std::vector<int64_t> targets = {0, 3};
+  const nn::LossResult r = nn::cross_entropy(logits, targets);
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, PerfectPredictionLossNearZero) {
+  Tensor logits({1, 3});
+  logits[1] = 50.0f;  // class 1 dominates
+  const std::vector<int64_t> targets = {1};
+  const nn::LossResult r = nn::cross_entropy(logits, targets);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+}
+
+TEST(CrossEntropy, GradIsSoftmaxMinusOnehotOverN) {
+  Rng rng(1);
+  Tensor logits({3, 5});
+  rng.fill_uniform(logits, -2.0f, 2.0f);
+  const std::vector<int64_t> targets = {4, 0, 2};
+  const nn::LossResult r = nn::cross_entropy(logits, targets);
+  const Tensor p = ops::softmax_rows(logits);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 5; ++j) {
+      const float expected =
+          (p.at(i, j) - (j == targets[static_cast<size_t>(i)] ? 1.0f : 0.0f)) /
+          3.0f;
+      EXPECT_NEAR(r.grad.at(i, j), expected, 1e-5f);
+    }
+}
+
+TEST(CrossEntropy, GradRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits({4, 6});
+  rng.fill_uniform(logits, -3.0f, 3.0f);
+  const std::vector<int64_t> targets = {0, 1, 2, 3};
+  const nn::LossResult r = nn::cross_entropy(logits, targets);
+  for (int64_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 6; ++j) row += r.grad.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradMatchesFiniteDifferences) {
+  Rng rng(3);
+  Tensor logits({2, 4});
+  rng.fill_uniform(logits, -1.0f, 1.0f);
+  const std::vector<int64_t> targets = {1, 3};
+  const nn::LossResult r = nn::cross_entropy(logits, targets);
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = nn::cross_entropy(logits, targets).loss;
+    logits[i] = orig - eps;
+    const float lm = nn::cross_entropy(logits, targets).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(r.grad[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(CrossEntropy, ValidatesInputs) {
+  const Tensor logits({2, 3});
+  std::vector<int64_t> bad_count = {0};
+  EXPECT_THROW(nn::cross_entropy(logits, bad_count), std::invalid_argument);
+  std::vector<int64_t> bad_class = {0, 3};
+  EXPECT_THROW(nn::cross_entropy(logits, bad_class), std::invalid_argument);
+  std::vector<int64_t> neg = {0, -1};
+  EXPECT_THROW(nn::cross_entropy(logits, neg), std::invalid_argument);
+}
+
+TEST(Mse, ReferenceValueAndGrad) {
+  const Tensor pred = Tensor::from_values({1, 2, 3});
+  const Tensor target = Tensor::from_values({1, 0, 6});
+  const nn::LossResult r = nn::mse(pred, target);
+  EXPECT_NEAR(r.loss, (0 + 4 + 9) / 3.0f, 1e-6f);
+  // grad = 2 (pred - target) / n
+  EXPECT_TRUE(r.grad.allclose(
+      Tensor::from_values({0.0f, 4.0f / 3.0f, -2.0f}), 1e-5f));
+}
+
+TEST(Mse, ZeroForIdenticalInputs) {
+  Rng rng(4);
+  Tensor a({10});
+  rng.fill_uniform(a, -1.0f, 1.0f);
+  const nn::LossResult r = nn::mse(a, a);
+  EXPECT_FLOAT_EQ(r.loss, 0.0f);
+  EXPECT_FLOAT_EQ(ops::sq_norm(r.grad), 0.0f);
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  EXPECT_THROW(nn::mse(Tensor({2, 3}), Tensor({3, 2})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,208 @@
+// Model zoo: backbone construction, shapes, parameter budgets, MBConv
+// gradients, and the analytic profiler.
+#include <gtest/gtest.h>
+
+#include "models/backbone.hpp"
+#include "models/blocks.hpp"
+#include "models/mlp_head.hpp"
+#include "models/profile.hpp"
+#include "test_util.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using models::BackboneConfig;
+using models::BackboneKind;
+using models::BackboneScale;
+
+TEST(MBConv, ResidualRequiresMatchingGeometry) {
+  Rng rng(1);
+  models::MBConvConfig cfg;
+  cfg.in_c = 4;
+  cfg.exp_c = 8;
+  cfg.out_c = 4;
+  cfg.stride = 1;
+  models::MBConv with_res(cfg, rng);
+  EXPECT_TRUE(with_res.has_residual());
+  cfg.out_c = 6;
+  models::MBConv diff_c(cfg, rng);
+  EXPECT_FALSE(diff_c.has_residual());
+  cfg.out_c = 4;
+  cfg.stride = 2;
+  models::MBConv strided(cfg, rng);
+  EXPECT_FALSE(strided.has_residual());
+}
+
+TEST(MBConv, ForwardShapes) {
+  Rng rng(2);
+  models::MBConvConfig cfg;
+  cfg.in_c = 3;
+  cfg.exp_c = 12;
+  cfg.out_c = 5;
+  cfg.kernel = 3;
+  cfg.stride = 2;
+  cfg.use_se = true;
+  models::MBConv block(cfg, rng);
+  EXPECT_EQ(block.output_shape({2, 3, 8, 8}), (Shape{2, 5, 4, 4}));
+  Tensor x({2, 3, 8, 8});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  EXPECT_EQ(block.forward(x).shape(), (Shape{2, 5, 4, 4}));
+}
+
+TEST(MBConv, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  models::MBConvConfig cfg;
+  cfg.in_c = 2;
+  cfg.exp_c = 4;
+  cfg.out_c = 2;
+  cfg.kernel = 3;
+  cfg.stride = 1;
+  cfg.use_se = false;  // SE checked separately; keep the check fast
+  cfg.act = models::ActKind::kSiLU;
+  models::MBConv block(cfg, rng);
+  Tensor x({2, 2, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  // Residual + BN coupling: loosen tolerances slightly.
+  testing::GradCheckOptions opt;
+  opt.atol = 4e-2f;
+  opt.rtol = 9e-2f;
+  expect_gradients_match(block, x, rng, opt);
+}
+
+TEST(MBConv, RejectsBadConfig) {
+  Rng rng(4);
+  models::MBConvConfig cfg;
+  cfg.in_c = 4;
+  cfg.exp_c = 2;  // narrower than input
+  cfg.out_c = 4;
+  EXPECT_THROW(models::MBConv(cfg, rng), std::invalid_argument);
+  cfg.exp_c = 8;
+  cfg.kernel = 4;  // even kernel
+  EXPECT_THROW(models::MBConv(cfg, rng), std::invalid_argument);
+}
+
+class EdgeBackbones : public ::testing::TestWithParam<BackboneKind> {};
+
+TEST_P(EdgeBackbones, BuildsAndFlattens) {
+  Rng rng(5);
+  BackboneConfig cfg{GetParam(), BackboneScale::kEdge, 3};
+  auto bb = models::build_backbone(cfg, rng);
+  const int64_t dim = models::backbone_feature_dim(*bb, 3, 20, 20);
+  EXPECT_GT(dim, 0);
+  Tensor x({2, 3, 20, 20});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  const Tensor zb = bb->forward(x);
+  EXPECT_EQ(zb.shape(), (Shape{2, dim}));
+}
+
+TEST_P(EdgeBackbones, ForwardBackwardRuns) {
+  Rng rng(6);
+  BackboneConfig cfg{GetParam(), BackboneScale::kEdge, 3};
+  auto bb = models::build_backbone(cfg, rng);
+  Tensor x({2, 3, 20, 20});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  const Tensor zb = bb->forward(x);
+  Tensor g(zb.shape());
+  rng.fill_uniform(g, -1.0f, 1.0f);
+  const Tensor dx = bb->backward(g);
+  EXPECT_EQ(dx.shape(), x.shape());
+  // Some gradient must reach the input.
+  EXPECT_GT(ops::sq_norm(dx), 0.0f);
+}
+
+TEST_P(EdgeBackbones, DeterministicGivenSeed) {
+  BackboneConfig cfg{GetParam(), BackboneScale::kEdge, 3};
+  Rng r1(7), r2(7);
+  auto b1 = models::build_backbone(cfg, r1);
+  auto b2 = models::build_backbone(cfg, r2);
+  Tensor x({1, 3, 20, 20}, 0.5f);
+  EXPECT_TRUE(b1->forward(x).equals(b2->forward(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EdgeBackbones,
+                         ::testing::ValuesIn(models::kAllBackbones));
+
+TEST(FullBackbones, ParameterBudgetsMatchPaperTable4) {
+  Rng rng(8);
+  // MobileNetV3-Small features: paper reports 0.9 M params.
+  auto mnv3 = models::build_mobilenet_v3(BackboneScale::kFull, 3, rng);
+  const int64_t p_mnv3 = mnv3->num_params();
+  EXPECT_GT(p_mnv3, 800'000);
+  EXPECT_LT(p_mnv3, 1'200'000);
+
+  // EfficientNet-B0 features: paper reports 4 M params.
+  auto effb0 = models::build_efficientnet(BackboneScale::kFull, 3, rng);
+  const int64_t p_eff = effb0->num_params();
+  EXPECT_GT(p_eff, 3'200'000);
+  EXPECT_LT(p_eff, 5'500'000);
+
+  // VGG16 features: the classic 14.7 M.
+  auto vgg = models::build_vgg16(BackboneScale::kFull, 3, rng);
+  const int64_t p_vgg = vgg->num_params();
+  EXPECT_GT(p_vgg, 14'000'000);
+  EXPECT_LT(p_vgg, 15'500'000);
+}
+
+TEST(FullBackbones, SpatialReductionAt224) {
+  Rng rng(9);
+  auto mnv3 = models::build_mobilenet_v3(BackboneScale::kFull, 3, rng);
+  // Flatten output = 576 * 7 * 7 at 224x224 input.
+  EXPECT_EQ(mnv3->output_shape({1, 3, 224, 224}), (Shape{1, 576 * 7 * 7}));
+  auto eff = models::build_efficientnet(BackboneScale::kFull, 3, rng);
+  EXPECT_EQ(eff->output_shape({1, 3, 224, 224}), (Shape{1, 1280 * 7 * 7}));
+  auto vgg = models::build_vgg16(BackboneScale::kFull, 3, rng);
+  EXPECT_EQ(vgg->output_shape({1, 3, 224, 224}), (Shape{1, 512 * 7 * 7}));
+}
+
+TEST(MlpHead, TwoLinearLayersWithRelu) {
+  Rng rng(10);
+  auto head = models::build_mlp_head({.in_dim = 16, .hidden_dim = 8,
+                                      .num_classes = 4},
+                                     rng);
+  ASSERT_EQ(head->size(), 3u);
+  EXPECT_EQ(head->layer(0).name(), "Linear");
+  EXPECT_EQ(head->layer(1).name(), "ReLU");
+  EXPECT_EQ(head->layer(2).name(), "Linear");
+  EXPECT_EQ(head->output_shape({5, 16}), (Shape{5, 4}));
+  EXPECT_THROW(
+      models::build_mlp_head({.in_dim = 16, .hidden_dim = 8, .num_classes = 1},
+                             rng),
+      std::invalid_argument);
+}
+
+TEST(Profile, CountsMatchModuleIntrospection) {
+  Rng rng(11);
+  BackboneConfig cfg{BackboneKind::kMobileNetV3, BackboneScale::kEdge, 3};
+  auto bb = models::build_backbone(cfg, rng);
+  const models::ModelProfile p = models::profile_model(*bb, {1, 3, 20, 20});
+  EXPECT_EQ(p.total_params, bb->num_params());
+  EXPECT_EQ(p.output_shape, bb->output_shape({1, 3, 20, 20}));
+  EXPECT_EQ(p.layers.size(), bb->size());
+  EXPECT_GT(p.total_activation_elems, 0);
+  EXPECT_GT(p.forward_backward_mb(), 0.0);
+  EXPECT_NEAR(p.params_mb(),
+              static_cast<double>(p.total_params) * 4.0 / (1024 * 1024),
+              1e-9);
+  const std::string table = models::profile_to_string(p);
+  EXPECT_NE(table.find("total params"), std::string::npos);
+}
+
+TEST(Profile, ActivationsScaleWithBatch) {
+  Rng rng(12);
+  BackboneConfig cfg{BackboneKind::kVgg16, BackboneScale::kEdge, 3};
+  auto bb = models::build_backbone(cfg, rng);
+  const auto p1 = models::profile_model(*bb, {1, 3, 20, 20});
+  const auto p8 = models::profile_model(*bb, {8, 3, 20, 20});
+  EXPECT_EQ(p8.total_activation_elems, 8 * p1.total_activation_elems);
+  EXPECT_EQ(p8.total_params, p1.total_params);
+}
+
+TEST(BackboneName, AllKindsNamed) {
+  EXPECT_EQ(models::backbone_name(BackboneKind::kVgg16), "VGG16");
+  EXPECT_EQ(models::backbone_name(BackboneKind::kMobileNetV3), "MobileNetV3");
+  EXPECT_EQ(models::backbone_name(BackboneKind::kEfficientNet),
+            "EfficientNet");
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,170 @@
+// MtlSplitModel: the Fig. 1 architecture — head fan-out, gradient
+// summation into the shared backbone (Eq. 4), split-vs-monolithic
+// equivalence, and the model factory.
+#include <gtest/gtest.h>
+
+#include "mtl/model_factory.hpp"
+#include "mtl/mtl_model.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "test_util.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using core::MtlSplitModel;
+
+/// Minimal linear model: backbone Flatten-free (already flat input).
+std::unique_ptr<MtlSplitModel> tiny_model(Rng& rng, size_t num_tasks = 2) {
+  auto backbone = std::make_unique<nn::Sequential>();
+  backbone->emplace<nn::Linear>(6, 4, rng);
+  backbone->emplace<nn::Sigmoid>();
+  std::vector<std::unique_ptr<nn::Sequential>> heads;
+  std::vector<data::TaskSpec> tasks;
+  for (size_t j = 0; j < num_tasks; ++j) {
+    auto h = std::make_unique<nn::Sequential>();
+    h->emplace<nn::Linear>(4, 3, rng);
+    heads.push_back(std::move(h));
+    tasks.push_back({"t" + std::to_string(j), 3});
+  }
+  return std::make_unique<MtlSplitModel>(std::move(backbone),
+                                         std::move(heads), std::move(tasks));
+}
+
+TEST(MtlSplitModel, ForwardProducesPerTaskLogits) {
+  Rng rng(1);
+  auto model = tiny_model(rng, 3);
+  Tensor x({5, 6});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  const auto logits = model->forward(x);
+  ASSERT_EQ(logits.size(), 3u);
+  for (const Tensor& l : logits) EXPECT_EQ(l.shape(), (Shape{5, 3}));
+}
+
+TEST(MtlSplitModel, SplitExecutionMatchesMonolithicBitwise) {
+  Rng rng(2);
+  auto model = tiny_model(rng);
+  Tensor x({4, 6});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  const auto mono = model->forward(x);
+  const Tensor zb = model->forward_backbone(x);
+  const auto split = model->forward_heads(zb);
+  ASSERT_EQ(mono.size(), split.size());
+  for (size_t j = 0; j < mono.size(); ++j)
+    EXPECT_TRUE(mono[j].equals(split[j]));
+  EXPECT_TRUE(model->forward_head(zb, 1).equals(mono[1]));
+  EXPECT_THROW(model->forward_head(zb, 7), std::out_of_range);
+}
+
+TEST(MtlSplitModel, BackwardSumsHeadGradientsIntoBackbone) {
+  // Eq. 4 check: dL_total/dpsi with both heads active must equal the sum of
+  // the two single-head gradients computed separately.
+  Rng rng(3);
+  auto model = tiny_model(rng);
+  Tensor x({3, 6});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  Tensor g0({3, 3}), g1({3, 3});
+  rng.fill_uniform(g0, -1.0f, 1.0f);
+  rng.fill_uniform(g1, -1.0f, 1.0f);
+  const Tensor zero({3, 3}, 0.0f);
+
+  auto backbone_grad_snapshot = [&] {
+    std::vector<Tensor> out;
+    for (nn::Parameter* p : model->backbone_params()) out.push_back(p->grad);
+    return out;
+  };
+
+  model->zero_grad();
+  model->forward(x);
+  model->backward({g0, zero});
+  const auto only0 = backbone_grad_snapshot();
+
+  model->zero_grad();
+  model->forward(x);
+  model->backward({zero, g1});
+  const auto only1 = backbone_grad_snapshot();
+
+  model->zero_grad();
+  model->forward(x);
+  model->backward({g0, g1});
+  const auto both = backbone_grad_snapshot();
+
+  for (size_t i = 0; i < both.size(); ++i) {
+    const Tensor expected = ops::add(only0[i], only1[i]);
+    EXPECT_TRUE(both[i].allclose(expected, 1e-4f)) << "param " << i;
+  }
+}
+
+TEST(MtlSplitModel, BackwardValidatesGradientCount) {
+  Rng rng(4);
+  auto model = tiny_model(rng);
+  Tensor x({2, 6});
+  model->forward(x);
+  EXPECT_THROW(model->backward({Tensor({2, 3})}), std::invalid_argument);
+}
+
+TEST(MtlSplitModel, ParameterPartitions) {
+  Rng rng(5);
+  auto model = tiny_model(rng, 2);
+  const auto psi = model->backbone_params();
+  const auto theta = model->all_head_params();
+  const auto all = model->all_params();
+  EXPECT_EQ(all.size(), psi.size() + theta.size());
+  EXPECT_EQ(model->head_params(0).size(), 2u);  // weight + bias
+  // Heads share no parameters with the backbone.
+  for (auto* p : theta)
+    for (auto* q : psi) EXPECT_NE(p, q);
+}
+
+TEST(MtlSplitModel, ConstructionValidation) {
+  Rng rng(6);
+  auto backbone = std::make_unique<nn::Sequential>();
+  backbone->emplace<nn::Linear>(4, 4, rng);
+  std::vector<std::unique_ptr<nn::Sequential>> no_heads;
+  EXPECT_THROW(MtlSplitModel(std::move(backbone), std::move(no_heads), {}),
+               std::invalid_argument);
+}
+
+TEST(ModelFactory, BuildsAllBackboneFamilies) {
+  const std::vector<data::TaskSpec> tasks = {{"scale", 8}, {"shape", 4}};
+  for (auto kind : models::kAllBackbones) {
+    Rng rng(7);
+    core::ModelFactoryConfig cfg;
+    cfg.backbone = kind;
+    cfg.image_shape = {3, 20, 20};
+    auto model = core::make_mtl_model(cfg, tasks, rng);
+    EXPECT_EQ(model->num_tasks(), 2u);
+    EXPECT_GT(model->zb_dim({3, 20, 20}), 0);
+    Tensor x({2, 3, 20, 20});
+    rng.fill_uniform(x, 0.0f, 1.0f);
+    const auto logits = model->forward(x);
+    EXPECT_EQ(logits[0].shape(), (Shape{2, 8}));
+    EXPECT_EQ(logits[1].shape(), (Shape{2, 4}));
+  }
+}
+
+TEST(ModelFactory, StlModelHasOneHead) {
+  Rng rng(8);
+  core::ModelFactoryConfig cfg;
+  cfg.image_shape = {3, 20, 20};
+  auto stl = core::make_stl_model(cfg, {"shape", 4}, rng);
+  EXPECT_EQ(stl->num_tasks(), 1u);
+  EXPECT_EQ(stl->task(0).num_classes, 4);
+}
+
+TEST(MtlSplitModel, TrainingModePropagates) {
+  Rng rng(9);
+  core::ModelFactoryConfig cfg;
+  cfg.backbone = models::BackboneKind::kMobileNetV3;
+  cfg.image_shape = {3, 20, 20};
+  auto model = core::make_mtl_model(cfg, {{"a", 2}, {"b", 3}}, rng);
+  model->set_training(false);
+  EXPECT_FALSE(model->backbone().training());
+  EXPECT_FALSE(model->head(0).training());
+  model->set_training(true);
+  EXPECT_TRUE(model->head(1).training());
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,160 @@
+// Optimizers and LR schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "optim/adamw.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "optim/sgd.hpp"
+
+namespace mtlsplit {
+namespace {
+
+/// Minimises f(w) = 0.5 * ||w - target||^2 with the given optimizer;
+/// returns the final squared distance.
+template <typename Opt>
+float descend_quadratic(Opt& opt, nn::Parameter& w, const Tensor& target,
+                        int steps) {
+  for (int s = 0; s < steps; ++s) {
+    for (int64_t i = 0; i < w.value.numel(); ++i)
+      w.grad[i] += w.value[i] - target[i];
+    opt.step();
+  }
+  float d = 0.0f;
+  for (int64_t i = 0; i < w.value.numel(); ++i) {
+    const float e = w.value[i] - target[i];
+    d += e * e;
+  }
+  return d;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  nn::Parameter w("w", Tensor({4}, 5.0f));
+  const Tensor target = Tensor::from_values({1, -2, 0, 3});
+  optim::Sgd opt({&w}, {.lr = 0.1f});
+  EXPECT_LT(descend_quadratic(opt, w, target, 200), 1e-6f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  const Tensor target({8}, 1.0f);
+  nn::Parameter a("a", Tensor({8}, 10.0f));
+  nn::Parameter b("b", Tensor({8}, 10.0f));
+  optim::Sgd plain({&a}, {.lr = 0.02f});
+  optim::Sgd heavy({&b}, {.lr = 0.02f, .momentum = 0.9f});
+  const float d_plain = descend_quadratic(plain, a, target, 30);
+  const float d_heavy = descend_quadratic(heavy, b, target, 30);
+  EXPECT_LT(d_heavy, d_plain);
+}
+
+TEST(Sgd, SingleStepMatchesHandComputation) {
+  nn::Parameter w("w", Tensor({1}, 2.0f));
+  optim::Sgd opt({&w}, {.lr = 0.5f});
+  w.grad[0] = 3.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], 2.0f - 0.5f * 3.0f);
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);  // step() consumes the gradient
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Parameter w("w", Tensor({1}, 4.0f));
+  optim::Sgd opt({&w}, {.lr = 0.1f, .weight_decay = 0.5f});
+  w.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], 4.0f - 0.1f * (0.5f * 4.0f));
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  nn::Parameter w("w", Tensor({4}, 5.0f));
+  const Tensor target = Tensor::from_values({1, -2, 0, 3});
+  optim::AdamW opt({&w}, {.lr = 0.1f, .weight_decay = 0.0f});
+  EXPECT_LT(descend_quadratic(opt, w, target, 500), 1e-4f);
+}
+
+TEST(AdamW, FirstStepIsLrSized) {
+  // With bias correction the first AdamW step is ~lr * sign(grad).
+  nn::Parameter w("w", Tensor({1}, 0.0f));
+  optim::AdamW opt({&w}, {.lr = 0.01f, .weight_decay = 0.0f});
+  w.grad[0] = 123.0f;
+  opt.step();
+  EXPECT_NEAR(w.value[0], -0.01f, 1e-4f);
+}
+
+TEST(AdamW, DecoupledDecayActsWithoutGradient) {
+  nn::Parameter w("w", Tensor({1}, 2.0f));
+  optim::AdamW opt({&w}, {.lr = 0.1f, .weight_decay = 0.5f});
+  w.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_NEAR(w.value[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+TEST(Optimizer, PerGroupLrScale) {
+  nn::Parameter fast("fast", Tensor({1}, 1.0f));
+  nn::Parameter slow("slow", Tensor({1}, 1.0f));
+  std::vector<optim::ParamGroup> groups;
+  groups.emplace_back(std::vector<nn::Parameter*>{&fast}, 1.0f);
+  groups.emplace_back(std::vector<nn::Parameter*>{&slow}, 0.01f);
+  optim::Sgd opt(std::move(groups), {.lr = 1.0f});
+  fast.grad[0] = 1.0f;
+  slow.grad[0] = 1.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(fast.value[0], 0.0f);
+  EXPECT_FLOAT_EQ(slow.value[0], 0.99f);
+}
+
+TEST(Optimizer, FrozenGroupIsSkipped) {
+  nn::Parameter w("w", Tensor({1}, 1.0f));
+  optim::Sgd opt({&w}, {.lr = 1.0f});
+  opt.set_group_frozen(0, true);
+  w.grad[0] = 10.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);   // untouched
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);    // but grad still consumed
+  opt.set_group_frozen(0, false);
+  w.grad[0] = 10.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], -9.0f);
+  EXPECT_THROW(opt.set_group_frozen(5, true), std::out_of_range);
+}
+
+TEST(Optimizer, ValidatesConfig) {
+  nn::Parameter w("w", Tensor({1}));
+  EXPECT_THROW(optim::Sgd({&w}, {.lr = -1.0f}), std::invalid_argument);
+  EXPECT_THROW(optim::Sgd({&w}, {.lr = 0.1f, .momentum = 1.5f}),
+               std::invalid_argument);
+  EXPECT_THROW(optim::AdamW({&w}, {.lr = 0.1f, .beta1 = 1.0f}),
+               std::invalid_argument);
+  std::vector<nn::Parameter*> with_null = {nullptr};
+  EXPECT_THROW(optim::Sgd(with_null, {.lr = 0.1f}), std::invalid_argument);
+}
+
+TEST(StepLr, DecaysAtBoundaries) {
+  nn::Parameter w("w", Tensor({1}));
+  optim::Sgd opt({&w}, {.lr = 1.0f});
+  optim::StepLr sched(opt, 1.0f, 10, 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 1.0f);
+  EXPECT_FLOAT_EQ(sched.lr_at(9), 1.0f);
+  EXPECT_FLOAT_EQ(sched.lr_at(10), 0.1f);
+  EXPECT_NEAR(sched.lr_at(25), 0.01f, 1e-6f);
+  sched.apply(10);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.1f);
+}
+
+TEST(CosineLr, AnnealsToMinimum) {
+  nn::Parameter w("w", Tensor({1}));
+  optim::Sgd opt({&w}, {.lr = 1.0f});
+  optim::CosineLr sched(opt, 1.0f, 100, 0.05f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 1.0f);
+  EXPECT_NEAR(sched.lr_at(50), (1.0f + 0.05f) / 2.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(sched.lr_at(100), 0.05f);
+  EXPECT_FLOAT_EQ(sched.lr_at(500), 0.05f);  // clamped past the horizon
+  // Monotone non-increasing over the schedule.
+  float prev = 2.0f;
+  for (int e = 0; e <= 100; e += 5) {
+    EXPECT_LE(sched.lr_at(e), prev + 1e-6f);
+    prev = sched.lr_at(e);
+  }
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,123 @@
+// Split-point enumeration and the three selection heuristics.
+#include <gtest/gtest.h>
+
+#include "models/backbone.hpp"
+#include "sc/partition.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit {
+namespace {
+
+std::unique_ptr<nn::Sequential> edge_backbone(models::BackboneKind kind,
+                                              Rng& rng) {
+  return models::build_backbone({kind, models::BackboneScale::kEdge, 3}, rng);
+}
+
+TEST(Partition, EnumeratesEveryCut) {
+  Rng rng(1);
+  auto bb = edge_backbone(models::BackboneKind::kVgg16, rng);
+  const auto points = sc::enumerate_split_points(*bb, {1, 3, 20, 20});
+  ASSERT_EQ(points.size(), bb->size() + 1);
+  // Cut 0 is the raw input (RoC-like).
+  EXPECT_EQ(points[0].boundary, "input");
+  EXPECT_EQ(points[0].cut_elems, 3 * 20 * 20);
+  EXPECT_EQ(points[0].edge_flops, 0);
+  // Final cut ships the flattened Z_b and leaves no backbone work remote.
+  EXPECT_EQ(points.back().server_flops, 0);
+  EXPECT_EQ(points.back().cut_shape,
+            bb->output_shape({1, 3, 20, 20}));
+}
+
+TEST(Partition, FlopsConserveAcrossCuts) {
+  Rng rng(2);
+  auto bb = edge_backbone(models::BackboneKind::kMobileNetV3, rng);
+  const Shape in{1, 3, 20, 20};
+  const int64_t total = bb->flops(in);
+  for (const auto& p : sc::enumerate_split_points(*bb, in))
+    EXPECT_EQ(p.edge_flops + p.server_flops, total);
+}
+
+TEST(Partition, MinSizeSelectionIsTrueMinimum) {
+  Rng rng(3);
+  auto bb = edge_backbone(models::BackboneKind::kEfficientNet, rng);
+  const auto points = sc::enumerate_split_points(*bb, {1, 3, 20, 20});
+  const size_t best = sc::select_split_min_size(points);
+  EXPECT_GT(best, 0u);
+  for (size_t k = 1; k < points.size(); ++k)
+    EXPECT_LE(points[best].cut_elems, points[k].cut_elems);
+  // Deep nets compress: the chosen cut beats shipping the raw input.
+  EXPECT_LT(points[best].cut_elems, points[0].cut_elems);
+}
+
+TEST(Partition, LatencySelectionBeatsExtremesOnSlowChannel) {
+  Rng rng(4);
+  auto bb = edge_backbone(models::BackboneKind::kMobileNetV3, rng);
+  const auto points = sc::enumerate_split_points(*bb, {1, 3, 20, 20});
+  const sc::Channel slow({.bandwidth_bps = 1e6});  // 1 Mb/s
+  const auto edge = sc::jetson_nano();
+  const auto server = sc::rtx3090_server();
+  const size_t best = sc::select_split_min_latency(points, slow, edge, server);
+  const double lat = points[best].latency_s(slow, edge, server);
+  for (const auto& p : points)
+    EXPECT_LE(lat, p.latency_s(slow, edge, server) + 1e-12);
+}
+
+TEST(Partition, FastChannelPrefersEarlySplit) {
+  // With an (unrealistically) fast channel and a slow edge, offloading
+  // everything is optimal: the min-latency cut moves toward the input.
+  Rng rng(5);
+  auto bb = edge_backbone(models::BackboneKind::kVgg16, rng);
+  const auto points = sc::enumerate_split_points(*bb, {1, 3, 20, 20});
+  const sc::Channel fast({.bandwidth_bps = 1e13});
+  sc::DeviceProfile weak_edge = sc::jetson_nano();
+  weak_edge.effective_gflops = 0.01;
+  const size_t best =
+      sc::select_split_min_latency(points, fast, weak_edge,
+                                   sc::rtx3090_server());
+  EXPECT_EQ(best, 0u);
+}
+
+TEST(Partition, SaliencyIsFiniteAndBoundedLength) {
+  Rng rng(6);
+  auto bb = edge_backbone(models::BackboneKind::kVgg16, rng);
+  Tensor x({2, 3, 20, 20});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  const Shape out = bb->output_shape(x.shape());
+  Tensor g(out);
+  rng.fill_uniform(g, -1.0f, 1.0f);
+  const auto sal = sc::layer_saliency(*bb, x, g);
+  ASSERT_EQ(sal.size(), bb->size() + 1);
+  for (double s : sal) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(Partition, SaliencySelectionRespectsSizeSlack) {
+  Rng rng(7);
+  auto bb = edge_backbone(models::BackboneKind::kVgg16, rng);
+  const Shape in{1, 3, 20, 20};
+  const auto points = sc::enumerate_split_points(*bb, in);
+  Tensor x({1, 3, 20, 20});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  Tensor g(bb->output_shape(in));
+  rng.fill_uniform(g, -1.0f, 1.0f);
+  const auto sal = sc::layer_saliency(*bb, x, g);
+  const size_t best = sc::select_split_saliency(points, sal, 4.0);
+  EXPECT_GT(best, 0u);
+  // The chosen cut's size honours the slack constraint.
+  int64_t min_elems = points[1].cut_elems;
+  for (size_t k = 2; k < points.size(); ++k)
+    min_elems = std::min(min_elems, points[k].cut_elems);
+  EXPECT_LE(points[best].cut_elems, 4 * min_elems);
+}
+
+TEST(Partition, SelectionValidation) {
+  std::vector<sc::SplitPoint> empty;
+  EXPECT_THROW(sc::select_split_min_size(empty), std::invalid_argument);
+  std::vector<double> sal;
+  EXPECT_THROW(sc::select_split_saliency(empty, sal), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,85 @@
+// Pooling layers: reference values and gradient checks.
+#include <gtest/gtest.h>
+
+#include "nn/pooling.hpp"
+#include "test_util.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using testing::expect_gradients_match;
+
+TEST(MaxPool2d, ReferenceValues) {
+  nn::MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_TRUE(y.reshape({4}).equals(Tensor::from_values({5, 7, 13, 15})));
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  nn::MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  pool.forward(x);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 5.0f));
+  EXPECT_TRUE(g.reshape({4}).equals(Tensor::from_values({0, 5, 0, 0})));
+}
+
+TEST(MaxPool2d, GradientsMatchFiniteDifferences) {
+  Rng rng(1);
+  nn::MaxPool2d pool(2, 2);
+  Tensor x({2, 2, 4, 4});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  expect_gradients_match(pool, x, rng);
+}
+
+TEST(MaxPool2d, OddExtentFloorDivision) {
+  nn::MaxPool2d pool(2, 2);
+  EXPECT_EQ(pool.output_shape({1, 3, 5, 5}), (Shape{1, 3, 2, 2}));
+  EXPECT_THROW(pool.output_shape({1, 3, 1, 4}), std::invalid_argument);
+}
+
+TEST(AvgPool2d, ReferenceValues) {
+  nn::AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool2d, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  nn::AvgPool2d pool(3, 2);
+  Tensor x({2, 2, 7, 7});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  expect_gradients_match(pool, x, rng);
+}
+
+TEST(GlobalAvgPool, CollapsesSpatialDims) {
+  nn::GlobalAvgPool gap;
+  Tensor x({2, 3, 4, 4}, 2.0f);
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 2.0f);
+  EXPECT_EQ(gap.output_shape({5, 7, 9, 9}), (Shape{5, 7}));
+}
+
+TEST(GlobalAvgPool, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  nn::GlobalAvgPool gap;
+  Tensor x({2, 3, 3, 3});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  expect_gradients_match(gap, x, rng);
+}
+
+TEST(Pooling, BackwardBeforeForwardThrows) {
+  nn::MaxPool2d mp(2, 2);
+  EXPECT_THROW(mp.backward(Tensor({1, 1, 1, 1})), std::invalid_argument);
+  nn::AvgPool2d ap(2, 2);
+  EXPECT_THROW(ap.backward(Tensor({1, 1, 1, 1})), std::invalid_argument);
+  nn::GlobalAvgPool gap;
+  EXPECT_THROW(gap.backward(Tensor({1, 1})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,109 @@
+// Tests for the seeded RNG wrapper (determinism is a library-wide
+// guarantee; see DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tensor/rng.hpp"
+
+namespace mtlsplit {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.randint(0, 1000), b.randint(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.randint(0, 1 << 20) == b.randint(0, 1 << 20)) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.randint(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0f, 2.0f);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3f) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUse) {
+  // fork() derives the child from the parent stream: identical parents
+  // produce identical children.
+  Rng a(5), b(5);
+  Rng ca = a.fork(), cb = b.fork();
+  EXPECT_EQ(ca.uniform(), cb.uniform());
+  // ...and the child stream differs from the parent's continuation.
+  EXPECT_NE(ca.uniform(), a.uniform());
+}
+
+TEST(Rng, FillTensorsDeterministic) {
+  Rng a(6), b(6);
+  Tensor ta({3, 4}), tb({3, 4});
+  a.fill_normal(ta, 0.0f, 1.0f);
+  b.fill_normal(tb, 0.0f, 1.0f);
+  EXPECT_TRUE(ta.equals(tb));
+  a.fill_uniform(ta, 0.0f, 1.0f);
+  for (float v : ta.span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace mtlsplit
