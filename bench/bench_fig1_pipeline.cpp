@@ -7,6 +7,7 @@
 // reports (a) bit-exactness of the split execution vs the monolithic
 // model, (b) the modelled latency breakdown per deployment paradigm, and
 // (c) how the SC advantage moves as the channel degrades.
+#include <chrono>
 #include <cstdio>
 
 #include "data/shapes3d.hpp"
@@ -121,9 +122,52 @@ int main() {
                 1e3 * dsc.infer(batch.images).latency.total_s(),
                 1e3 * dsc8.infer(batch.images).latency.total_s());
   }
+  // --- Pipelined stream: edge compute / wire / server compute overlapped
+  // across a stream of single-image inferences (runtime layer, DESIGN.md §7).
+  {
+    std::vector<Tensor> stream_in;
+    for (int64_t i = 0; i < 16; ++i)
+      stream_in.push_back(data::gather_batch(ds, std::vector<int64_t>{i})
+                              .images);
+    sc::Channel sch({.bandwidth_bps = 1e9, .base_latency_s = 0.01});
+    sc::ScDeployment sdep(*model, sch, edge, server);
+
+    // Sequential reference: one infer() at a time.
+    const auto t0 = std::chrono::steady_clock::now();
+    double serial_analytic = 0.0;
+    for (const Tensor& x : stream_in)
+      serial_analytic += sdep.infer(x).latency.total_s();
+    const double serial_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const sc::StreamResult sr = sdep.infer_stream(stream_in);
+    double edge_sum = 0.0, wire_sum = 0.0, server_sum = 0.0;
+    for (const auto& r : sr.results) {
+      edge_sum += r.latency.edge_compute_s;
+      wire_sum += r.latency.transfer_s;
+      server_sum += r.latency.server_compute_s;
+    }
+    std::printf("\nPipelined SC stream (%zu single-image inferences):\n",
+                stream_in.size());
+    std::printf("  stage totals: edge %.3f ms | wire %.3f ms | server %.3f ms\n",
+                1e3 * edge_sum, 1e3 * wire_sum, 1e3 * server_sum);
+    std::printf("  analytic   serial %8.3f ms   pipelined %8.3f ms (%.2fx)\n",
+                1e3 * serial_analytic, 1e3 * sr.analytic_pipelined_s,
+                serial_analytic / sr.analytic_pipelined_s);
+    std::printf("  measured   serial %8.3f ms   pipelined %8.3f ms (%.2fx)\n",
+                1e3 * serial_wall, 1e3 * sr.measured_wall_s,
+                serial_wall / sr.measured_wall_s);
+    std::printf(
+        "  (the pipelined stream collapses onto its bottleneck stage:\n"
+        "   compute hides behind the channel; speedup over serial grows as\n"
+        "   the stages approach balance and cores become available)\n");
+  }
+
   std::printf(
       "\nShape check: SC's wire payload shrinks vs RoC's raw input, the\n"
-      "fp32 split is bit-exact, and the SC advantage widens as the channel\n"
-      "degrades.\n");
+      "fp32 split is bit-exact, the SC advantage widens as the channel\n"
+      "degrades, and the pipelined stream never runs slower than its\n"
+      "bottleneck stage implies.\n");
   return 0;
 }

@@ -1,10 +1,20 @@
 // M1: google-benchmark microbenchmarks of the substrate kernels — the ops
 // the edge device actually executes per inference.
+//
+// Every run also writes BENCH_OPS.json (google-benchmark's JSON schema, one
+// entry per benchmark with `size` / `threads` / `GFLOPs` user counters) so
+// the perf trajectory can be tracked across PRs as BENCH_*.json artifacts.
+// Thread count follows MTLSPLIT_NUM_THREADS, except BM_MatMulThreads which
+// pins the pool per measurement to expose the scaling curve.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sc/quantize.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/rng.hpp"
@@ -15,6 +25,18 @@ namespace {
 
 using namespace mtlsplit;
 
+/// Standard counters: problem size, pool lanes, and flops as a rate
+/// (rendered as GFLOP/s, stored as flops-per-second in the JSON).
+void set_op_counters(benchmark::State& state, int64_t size,
+                     int64_t flops_per_iter) {
+  state.counters["size"] = static_cast<double>(size);
+  state.counters["threads"] = static_cast<double>(runtime::num_threads());
+  if (flops_per_iter > 0)
+    state.counters["GFLOPs"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * flops_per_iter),
+        benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const auto n = state.range(0);
   Rng rng(1);
@@ -23,8 +45,27 @@ void BM_MatMul(benchmark::State& state) {
   rng.fill_uniform(b, -1.0f, 1.0f);
   for (auto _ : state) benchmark::DoNotOptimize(ops::matmul(a, b));
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_op_counters(state, n, 2 * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// GEMM thread-scaling curve at the acceptance shape (256^3), measured
+// wall-clock: the pool is pinned to the requested lane count.
+void BM_MatMulThreads(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  runtime::set_num_threads(lanes);
+  constexpr int64_t n = 256;
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_uniform(a, -1.0f, 1.0f);
+  rng.fill_uniform(b, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_op_counters(state, n, 2 * n * n * n);
+  // Restore the default pool so later benchmarks don't run pinned.
+  runtime::set_num_threads(runtime::default_num_threads());
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_MatMulTn(benchmark::State& state) {
   const auto n = state.range(0);
@@ -34,6 +75,7 @@ void BM_MatMulTn(benchmark::State& state) {
   rng.fill_uniform(b, -1.0f, 1.0f);
   for (auto _ : state) benchmark::DoNotOptimize(ops::matmul_tn(a, b));
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_op_counters(state, n, 2 * n * n * n);
 }
 BENCHMARK(BM_MatMulTn)->Arg(64)->Arg(128);
 
@@ -45,8 +87,22 @@ void BM_Conv2dForward(benchmark::State& state) {
   rng.fill_uniform(x, -1.0f, 1.0f);
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
   state.SetItemsProcessed(state.iterations() * conv.flops({1, c, 16, 16}));
+  set_op_counters(state, c, conv.flops({1, c, 16, 16}));
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+// Batch-level conv parallelism with the persistent im2col workspace.
+void BM_Conv2dForwardBatch(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  Tensor x({n, 16, 16, 16});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations() * conv.flops({n, 16, 16, 16}));
+  set_op_counters(state, n, conv.flops({n, 16, 16, 16}));
+}
+BENCHMARK(BM_Conv2dForwardBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const auto c = state.range(0);
@@ -126,4 +182,25 @@ BENCHMARK(BM_SoftmaxRows);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: identical to BENCHMARK_MAIN() plus a JSON mirror of every
+// result (with the user counters above) written to BENCH_OPS.json unless
+// the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_OPS.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,15 @@
 
 #include <cstring>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mtlsplit::data {
+
+namespace {
+// Samples per chunk when assembling batches/subsets in parallel; image
+// copies are pure memcpy, so chunks stay fairly large.
+constexpr int64_t kGatherGrain = 8;
+}  // namespace
 
 MultiTaskDataset::MultiTaskDataset(Tensor images,
                                    std::vector<std::vector<int64_t>> labels,
@@ -33,18 +41,23 @@ MultiTaskDataset MultiTaskDataset::subset(
   const int64_t c = images_.size(1), h = images_.size(2), w = images_.size(3);
   const int64_t stride = c * h * w;
   Tensor imgs({static_cast<int64_t>(indices.size()), c, h, w});
-  std::vector<std::vector<int64_t>> labels(labels_.size());
-  for (auto& l : labels) l.reserve(indices.size());
+  std::vector<std::vector<int64_t>> labels(
+      labels_.size(), std::vector<int64_t>(indices.size()));
   float* dst = imgs.data();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t idx = indices[i];
+  for (const int64_t idx : indices)
     check_bounds(idx >= 0 && idx < size(), "subset: index out of range");
-    std::memcpy(dst + static_cast<int64_t>(i) * stride,
-                images_.data() + idx * stride,
-                static_cast<size_t>(stride) * sizeof(float));
-    for (size_t j = 0; j < labels_.size(); ++j)
-      labels[j].push_back(labels_[j][static_cast<size_t>(idx)]);
-  }
+  runtime::parallel_for(
+      0, static_cast<int64_t>(indices.size()), kGatherGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t idx = indices[static_cast<size_t>(i)];
+          std::memcpy(dst + i * stride, images_.data() + idx * stride,
+                      static_cast<size_t>(stride) * sizeof(float));
+          for (size_t j = 0; j < labels_.size(); ++j)
+            labels[j][static_cast<size_t>(i)] =
+                labels_[j][static_cast<size_t>(idx)];
+        }
+      });
   return MultiTaskDataset(std::move(imgs), std::move(labels), tasks_);
 }
 
@@ -69,19 +82,26 @@ Batch gather_batch(const MultiTaskDataset& ds,
   const int64_t stride = c * h * w;
   Batch b;
   b.images = Tensor({static_cast<int64_t>(indices.size()), c, h, w});
-  b.labels.resize(static_cast<size_t>(ds.num_tasks()));
-  for (auto& l : b.labels) l.reserve(indices.size());
+  b.labels.assign(static_cast<size_t>(ds.num_tasks()),
+                  std::vector<int64_t>(indices.size()));
   float* dst = b.images.data();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t idx = indices[i];
+  for (const int64_t idx : indices)
     check_bounds(idx >= 0 && idx < ds.size(),
                  "gather_batch: index out of range");
-    std::memcpy(dst + static_cast<int64_t>(i) * stride,
-                imgs.data() + idx * stride,
-                static_cast<size_t>(stride) * sizeof(float));
-    for (size_t j = 0; j < b.labels.size(); ++j)
-      b.labels[j].push_back(ds.labels(j)[static_cast<size_t>(idx)]);
-  }
+  // Batch assembly overlaps the per-sample image copies across the pool;
+  // every destination row is written by exactly one chunk.
+  runtime::parallel_for(
+      0, static_cast<int64_t>(indices.size()), kGatherGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t idx = indices[static_cast<size_t>(i)];
+          std::memcpy(dst + i * stride, imgs.data() + idx * stride,
+                      static_cast<size_t>(stride) * sizeof(float));
+          for (size_t j = 0; j < b.labels.size(); ++j)
+            b.labels[j][static_cast<size_t>(i)] =
+                ds.labels(j)[static_cast<size_t>(idx)];
+        }
+      });
   return b;
 }
 

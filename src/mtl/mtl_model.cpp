@@ -1,5 +1,6 @@
 #include "mtl/mtl_model.hpp"
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace mtlsplit::core {
@@ -28,15 +29,22 @@ Tensor MtlSplitModel::backward(const std::vector<Tensor>& grad_logits) {
   check_arg(grad_logits.size() == heads_.size(),
             "MtlSplitModel::backward: need one gradient per task");
   // Eq. 4: dL_total/dZ_b = sum_j dL_j/dZ_b — the heads' input gradients
-  // accumulate before flowing into the shared backbone.
-  Tensor grad_zb;
-  for (size_t j = 0; j < heads_.size(); ++j) {
-    Tensor g = heads_[j]->backward(grad_logits[j]);
-    if (j == 0)
-      grad_zb = std::move(g);
-    else
-      ops::add_(grad_zb, g);
-  }
+  // accumulate before flowing into the shared backbone. Each head is an
+  // independent module tree, so the per-task backward passes fan out across
+  // the pool; the sum then runs in task order to keep the reduction
+  // bit-identical to serial execution.
+  std::vector<Tensor> head_grads(heads_.size());
+  runtime::parallel_for(
+      0, static_cast<int64_t>(heads_.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j)
+          head_grads[static_cast<size_t>(j)] =
+              heads_[static_cast<size_t>(j)]->backward(
+                  grad_logits[static_cast<size_t>(j)]);
+      });
+  Tensor grad_zb = std::move(head_grads[0]);
+  for (size_t j = 1; j < head_grads.size(); ++j)
+    ops::add_(grad_zb, head_grads[j]);
   return backbone_->backward(grad_zb);
 }
 
@@ -45,9 +53,16 @@ Tensor MtlSplitModel::forward_backbone(const Tensor& x) {
 }
 
 std::vector<Tensor> MtlSplitModel::forward_heads(const Tensor& zb) {
-  std::vector<Tensor> logits;
-  logits.reserve(heads_.size());
-  for (auto& h : heads_) logits.push_back(h->forward(zb));
+  // The per-task heads share only their (read-only) input, so the forward
+  // fan-out of Eq. 3 runs one head per pool lane.
+  std::vector<Tensor> logits(heads_.size());
+  runtime::parallel_for(
+      0, static_cast<int64_t>(heads_.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j)
+          logits[static_cast<size_t>(j)] =
+              heads_[static_cast<size_t>(j)]->forward(zb);
+      });
   return logits;
 }
 

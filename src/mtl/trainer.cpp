@@ -2,6 +2,7 @@
 
 #include "mtl/metrics.hpp"
 #include "nn/loss.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace mtlsplit::core {
@@ -36,14 +37,22 @@ TrainHistory train_model(MtlSplitModel& model,
       std::vector<Tensor> logits = model.forward(batch.images);
       std::vector<Tensor> grads(nt);
       std::vector<float> losses(nt);
-      for (size_t j = 0; j < nt; ++j) {
-        nn::LossResult r = nn::cross_entropy(logits[j], batch.labels[j]);
-        losses[j] = r.loss;
-        const float w = balancer.weight(j);
-        if (w != 1.0f) ops::scale_(r.grad, w);
-        grads[j] = std::move(r.grad);
-        epoch_task_loss[j] += r.loss;
-      }
+      // Per-task losses are independent given the logits; fan them out on
+      // the pool. The balancer weights are read-only here (update() runs
+      // after the parallel region).
+      runtime::parallel_for(
+          0, static_cast<int64_t>(nt), 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t ji = lo; ji < hi; ++ji) {
+              const auto j = static_cast<size_t>(ji);
+              nn::LossResult r =
+                  nn::cross_entropy(logits[j], batch.labels[j]);
+              losses[j] = r.loss;
+              const float w = balancer.weight(j);
+              if (w != 1.0f) ops::scale_(r.grad, w);
+              grads[j] = std::move(r.grad);
+            }
+          });
+      for (size_t j = 0; j < nt; ++j) epoch_task_loss[j] += losses[j];
       epoch_loss += balancer.total_loss(losses);
       balancer.update(losses);
       model.backward(grads);

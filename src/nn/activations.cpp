@@ -2,15 +2,24 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mtlsplit::nn {
+
+namespace {
+// Activation maps are memory-bound; large chunks keep pool overhead small.
+constexpr int64_t kActGrain = 1 << 15;
+}  // namespace
 
 Tensor Activation::forward(const Tensor& x) {
   cached_input_ = x;
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  runtime::parallel_for(0, x.numel(), kActGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) po[i] = f(px[i]);
+                        });
   return out;
 }
 
@@ -21,8 +30,11 @@ Tensor Activation::backward(const Tensor& grad_out) {
   const float* pg = grad_out.data();
   const float* px = cached_input_.data();
   float* po = out.data();
-  const int64_t n = grad_out.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = pg[i] * df(px[i]);
+  runtime::parallel_for(0, grad_out.numel(), kActGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i)
+                            po[i] = pg[i] * df(px[i]);
+                        });
   return out;
 }
 

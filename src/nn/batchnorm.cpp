@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mtlsplit::nn {
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
@@ -33,7 +35,10 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     cached_inv_std_ = Tensor({channels_});
     cached_count_ = count;
     float* pxh = cached_xhat_.data();
-    for (int64_t c = 0; c < channels_; ++c) {
+    // Channels are fully independent (statistics, normalization, running
+    // buffers), so the channel loop parallelizes without any reduction.
+    runtime::parallel_for(0, channels_, 1, [&](int64_t clo, int64_t chi) {
+    for (int64_t c = clo; c < chi; ++c) {
       double sum = 0.0, sq = 0.0;
       for (int64_t i = 0; i < n; ++i) {
         const float* p = px + (i * channels_ + c) * plane;
@@ -66,18 +71,21 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
                     : var;
       running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * unbiased;
     }
+    });
   } else {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
-      const float mean = running_mean_[c];
-      const float g = gamma_.value[c], b = beta_.value[c];
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = px + (i * channels_ + c) * plane;
-        float* po_c = po + (i * channels_ + c) * plane;
-        for (int64_t j = 0; j < plane; ++j)
-          po_c[j] = g * (p[j] - mean) * inv_std + b;
+    runtime::parallel_for(0, channels_, 1, [&](int64_t clo, int64_t chi) {
+      for (int64_t c = clo; c < chi; ++c) {
+        const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+        const float mean = running_mean_[c];
+        const float g = gamma_.value[c], b = beta_.value[c];
+        for (int64_t i = 0; i < n; ++i) {
+          const float* p = px + (i * channels_ + c) * plane;
+          float* po_c = po + (i * channels_ + c) * plane;
+          for (int64_t j = 0; j < plane; ++j)
+            po_c[j] = g * (p[j] - mean) * inv_std + b;
+        }
       }
-    }
+    });
   }
   return out;
 }
@@ -95,7 +103,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const float* pxh = cached_xhat_.data();
   float* pgi = grad_in.data();
 
-  for (int64_t c = 0; c < channels_; ++c) {
+  runtime::parallel_for(0, channels_, 1, [&](int64_t clo, int64_t chi) {
+  for (int64_t c = clo; c < chi; ++c) {
     // Accumulate sum(g) and sum(g * xhat) for the mean/var back-terms.
     double sum_g = 0.0, sum_gx = 0.0;
     for (int64_t i = 0; i < n; ++i) {
@@ -121,6 +130,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
         gi[j] = gamma * inv_std * (g[j] - mean_g - xh[j] * mean_gx);
     }
   }
+  });
   return grad_in;
 }
 

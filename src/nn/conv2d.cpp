@@ -1,6 +1,12 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "nn/init.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace mtlsplit::nn {
@@ -53,24 +59,32 @@ Tensor Conv2d::forward(const Tensor& x) {
   cached_input_ = x;
 
   Tensor out({n, out_c_, oh, ow});
-  Tensor cols;
+  const int64_t fan_in = in_c_ * kernel_ * kernel_;
   const int64_t in_stride = in_c_ * h * w;
   const int64_t out_stride = out_c_ * oh * ow;
-  for (int64_t i = 0; i < n; ++i) {
-    im2col(x.data() + i * in_stride, g, cols);
-    Tensor y = ops::matmul(weight_.value, cols);  // [out_c, oh*ow]
-    std::copy(y.data(), y.data() + out_stride, out.data() + i * out_stride);
-  }
-  if (with_bias_) {
-    float* po = out.data();
-    const float* pb = bias_.value.data();
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t c = 0; c < out_c_; ++c) {
-        const float b = pb[c];
-        float* plane = po + (i * out_c_ + c) * oh * ow;
-        for (int64_t j = 0; j < oh * ow; ++j) plane[j] += b;
-      }
-  }
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pb = with_bias_ ? bias_.value.data() : nullptr;
+  float* po = out.data();
+  // Batch-level parallelism; each lane keeps one persistent im2col patch
+  // matrix in its thread-local workspace instead of a fresh Tensor per
+  // sample. For n == 1 (edge inference) the loop runs inline and the GEMM
+  // parallelizes over its row blocks instead.
+  runtime::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    float* cols = runtime::tls_workspace().floats(
+        runtime::Workspace::kIm2col, fan_in * oh * ow);
+    for (int64_t i = lo; i < hi; ++i) {
+      im2col(px + i * in_stride, g, cols);
+      float* yout = po + i * out_stride;
+      ops::detail::gemm(out_c_, oh * ow, fan_in, pw, cols, yout);
+      if (pb != nullptr)
+        for (int64_t c = 0; c < out_c_; ++c) {
+          const float b = pb[c];
+          float* plane = yout + c * oh * ow;
+          for (int64_t j = 0; j < oh * ow; ++j) plane[j] += b;
+        }
+    }
+  });
   return out;
 }
 
@@ -84,27 +98,68 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
             "Conv2d::backward: gradient shape mismatch");
 
   Tensor grad_in(x.shape());
-  Tensor cols;
+  const int64_t fan_in = in_c_ * kernel_ * kernel_;
+  const int64_t ohw = oh * ow;
   const int64_t in_stride = in_c_ * h * w;
-  const int64_t out_stride = out_c_ * oh * ow;
-  for (int64_t i = 0; i < n; ++i) {
-    // Recompute the patch matrix for this sample (memory/compute trade-off).
-    im2col(x.data() + i * in_stride, g, cols);
-    Tensor gmat(
-        {out_c_, oh * ow},
-        std::vector<float>(grad_out.data() + i * out_stride,
-                           grad_out.data() + (i + 1) * out_stride));
-    // dW += g . cols^T ; dcols = W^T . g ; dx = col2im(dcols)
-    ops::add_(weight_.grad, ops::matmul_nt(gmat, cols));
-    Tensor dcols = ops::matmul_tn(weight_.value, gmat);
-    col2im(dcols, g, grad_in.data() + i * in_stride);
-    if (with_bias_) {
-      float* pb = bias_.grad.data();
-      const float* pg = gmat.data();
-      for (int64_t c = 0; c < out_c_; ++c) {
-        double acc = 0.0;
-        for (int64_t j = 0; j < oh * ow; ++j) acc += pg[c * oh * ow + j];
-        pb[c] += static_cast<float>(acc);
+  const int64_t out_stride = out_c_ * ohw;
+  const int64_t wsize = out_c_ * fan_in;
+  const float* px = x.data();
+  const float* pg = grad_out.data();
+
+  // W^T once, shared read-only by every lane (dcols = W^T . g per sample).
+  if (static_cast<int64_t>(wt_scratch_.size()) < wsize)
+    wt_scratch_.resize(static_cast<size_t>(wsize));
+  float* wt = wt_scratch_.data();
+  ops::detail::transpose(weight_.value.data(), out_c_, fan_in, wt);
+
+  // dW/db accumulate across samples; to stay bit-identical for any thread
+  // count (and to the seed's per-sample ordering) each sample's partial is
+  // computed independently, then reduced serially in sample order. Waves
+  // bound the partial-buffer memory for large batches; the buffers are
+  // fully overwritten per wave, so no zeroing between calls.
+  const int64_t wave = std::min<int64_t>(n, 16);
+  if (static_cast<int64_t>(dw_scratch_.size()) < wave * wsize)
+    dw_scratch_.resize(static_cast<size_t>(wave * wsize));
+  if (with_bias_ && static_cast<int64_t>(db_scratch_.size()) < wave * out_c_)
+    db_scratch_.resize(static_cast<size_t>(wave * out_c_));
+  float* dws = dw_scratch_.data();
+  float* dbs = with_bias_ ? db_scratch_.data() : nullptr;
+
+  for (int64_t w0 = 0; w0 < n; w0 += wave) {
+    const int64_t w1 = std::min(w0 + wave, n);
+    runtime::parallel_for(w0, w1, 1, [&](int64_t lo, int64_t hi) {
+      auto& ws = runtime::tls_workspace();
+      float* cols =
+          ws.floats(runtime::Workspace::kIm2col, fan_in * ohw);
+      float* dcols =
+          ws.floats(runtime::Workspace::kConvScratch, fan_in * ohw);
+      for (int64_t i = lo; i < hi; ++i) {
+        // Recompute the patch matrix (memory/compute trade-off, as in the
+        // seed); gmat is the contiguous [out_c, oh*ow] slice of grad_out.
+        im2col(px + i * in_stride, g, cols);
+        const float* gmat = pg + i * out_stride;
+        ops::detail::gemm_nt(out_c_, ohw, fan_in, gmat, cols,
+                             dws + (i - w0) * wsize);
+        ops::detail::gemm(fan_in, ohw, out_c_, wt, gmat, dcols);
+        col2im(dcols, g, grad_in.data() + i * in_stride);
+        if (with_bias_) {
+          float* db = dbs + (i - w0) * out_c_;
+          for (int64_t c = 0; c < out_c_; ++c) {
+            double acc = 0.0;
+            for (int64_t j = 0; j < ohw; ++j) acc += gmat[c * ohw + j];
+            db[c] = static_cast<float>(acc);
+          }
+        }
+      }
+    });
+    float* pgw = weight_.grad.data();
+    float* pgb = with_bias_ ? bias_.grad.data() : nullptr;
+    for (int64_t i = w0; i < w1; ++i) {
+      const float* dw = dws + (i - w0) * wsize;
+      for (int64_t j = 0; j < wsize; ++j) pgw[j] += dw[j];
+      if (pgb != nullptr) {
+        const float* db = dbs + (i - w0) * out_c_;
+        for (int64_t c = 0; c < out_c_; ++c) pgb[c] += db[c];
       }
     }
   }
@@ -156,11 +211,13 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
   float* po = out.data();
   const float* pw = weight_.value.data();
   const float* pb = with_bias_ ? bias_.value.data() : nullptr;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* plane = px + (i * channels_ + c) * h * w;
+  // One (sample, channel) plane per work item: all writes are disjoint.
+  runtime::parallel_for(0, n * channels_, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      const int64_t c = p % channels_;
+      const float* plane = px + p * h * w;
       const float* kern = pw + c * kernel_ * kernel_;
-      float* oplane = po + (i * channels_ + c) * oh * ow;
+      float* oplane = po + p * oh * ow;
       const float b = pb ? pb[c] : 0.0f;
       for (int64_t y = 0; y < oh; ++y) {
         for (int64_t xx = 0; xx < ow; ++xx) {
@@ -178,7 +235,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -198,34 +255,39 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
   const float* pw = weight_.value.data();
   float* pgw = weight_.grad.data();
   float* pgb = with_bias_ ? bias_.grad.data() : nullptr;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* plane = px + (i * channels_ + c) * h * w;
-      const float* gplane = pg + (i * channels_ + c) * oh * ow;
-      float* giplane = pgi + (i * channels_ + c) * h * w;
+  // Parallel over channels: each channel owns its kernel/bias gradient and
+  // its set of (i, c) planes, and samples are visited in index order within
+  // a channel, so accumulation matches the serial pass bit for bit.
+  runtime::parallel_for(0, channels_, 1, [&](int64_t clo, int64_t chi) {
+    for (int64_t c = clo; c < chi; ++c) {
       const float* kern = pw + c * kernel_ * kernel_;
       float* gkern = pgw + c * kernel_ * kernel_;
-      double bacc = 0.0;
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t xx = 0; xx < ow; ++xx) {
-          const float gv = gplane[y * ow + xx];
-          if (gv == 0.0f) continue;
-          bacc += gv;
-          for (int64_t kh = 0; kh < kernel_; ++kh) {
-            const int64_t iy = y * stride_ + kh - pad_;
-            if (iy < 0 || iy >= h) continue;
-            for (int64_t kw = 0; kw < kernel_; ++kw) {
-              const int64_t ix = xx * stride_ + kw - pad_;
-              if (ix < 0 || ix >= w) continue;
-              gkern[kh * kernel_ + kw] += gv * plane[iy * w + ix];
-              giplane[iy * w + ix] += gv * kern[kh * kernel_ + kw];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = px + (i * channels_ + c) * h * w;
+        const float* gplane = pg + (i * channels_ + c) * oh * ow;
+        float* giplane = pgi + (i * channels_ + c) * h * w;
+        double bacc = 0.0;  // flushed per sample, like the serial pass
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t xx = 0; xx < ow; ++xx) {
+            const float gv = gplane[y * ow + xx];
+            if (gv == 0.0f) continue;
+            bacc += gv;
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              const int64_t iy = y * stride_ + kh - pad_;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t ix = xx * stride_ + kw - pad_;
+                if (ix < 0 || ix >= w) continue;
+                gkern[kh * kernel_ + kw] += gv * plane[iy * w + ix];
+                giplane[iy * w + ix] += gv * kern[kh * kernel_ + kw];
+              }
             }
           }
         }
+        if (pgb) pgb[c] += static_cast<float>(bacc);
       }
-      if (pgb) pgb[c] += static_cast<float>(bacc);
     }
-  }
+  });
   return grad_in;
 }
 

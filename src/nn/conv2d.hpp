@@ -6,6 +6,12 @@
 // DepthwiseConv2d (one filter per channel, the MobileNet/EfficientNet
 // workhorse) uses direct loops — its arithmetic intensity is too low for
 // im2col to pay off.
+//
+// Execution (DESIGN.md §7): both layers parallelize over the batch on the
+// runtime thread pool, with the im2col patch matrix living in each lane's
+// persistent thread-local Workspace (no per-sample allocation). Weight and
+// bias gradients are reduced in sample order from independently computed
+// partials, so training is bit-reproducible for any MTLSPLIT_NUM_THREADS.
 #pragma once
 
 #include "nn/module.hpp"
@@ -39,6 +45,9 @@ class Conv2d final : public Module {
   Parameter weight_;  // [out_c, in_c * k * k]
   Parameter bias_;    // [out_c]
   Tensor cached_input_;
+  // Backward scratch reused across calls (W^T and the per-sample wave
+  // partials); grown on first use, never per-call allocated.
+  std::vector<float> wt_scratch_, dw_scratch_, db_scratch_;
 };
 
 class DepthwiseConv2d final : public Module {

@@ -2,7 +2,14 @@
 
 #include <limits>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mtlsplit::nn {
+
+namespace {
+// (sample, channel) planes per parallel chunk for the pooling loops.
+constexpr int64_t kPlaneGrain = 8;
+}  // namespace
 
 namespace {
 
@@ -33,30 +40,32 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   const float* px = x.data();
   float* po = out.data();
   int64_t* pa = cached_argmax_.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float* plane = px + i * h * w;
-    float* oplane = po + i * oh * ow;
-    int64_t* aplane = pa + i * oh * ow;
-    for (int64_t y = 0; y < oh; ++y) {
-      for (int64_t xx = 0; xx < ow; ++xx) {
-        float best = -std::numeric_limits<float>::infinity();
-        int64_t best_idx = 0;
-        for (int64_t kh = 0; kh < kernel_; ++kh) {
-          const int64_t iy = y * stride_ + kh;
-          for (int64_t kw = 0; kw < kernel_; ++kw) {
-            const int64_t ix = xx * stride_ + kw;
-            const float v = plane[iy * w + ix];
-            if (v > best) {
-              best = v;
-              best_idx = iy * w + ix;
+  runtime::parallel_for(0, n * c, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* plane = px + i * h * w;
+      float* oplane = po + i * oh * ow;
+      int64_t* aplane = pa + i * oh * ow;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t iy = y * stride_ + kh;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t ix = xx * stride_ + kw;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
             }
           }
+          oplane[y * ow + xx] = best;
+          aplane[y * ow + xx] = i * h * w + best_idx;
         }
-        oplane[y * ow + xx] = best;
-        aplane[y * ow + xx] = i * h * w + best_idx;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -68,8 +77,17 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   Tensor grad_in(cached_in_shape_);
   float* pgi = grad_in.data();
   const float* pg = grad_out.data();
-  for (size_t i = 0; i < cached_argmax_.size(); ++i)
-    pgi[cached_argmax_[i]] += pg[i];
+  // Argmax indices from plane p only point into input plane p, so a
+  // per-plane split keeps the scatter race-free.
+  const int64_t planes = cached_in_shape_[0] * cached_in_shape_[1];
+  if (planes == 0) return grad_in;  // empty batch: nothing to scatter
+  const int64_t out_plane =
+      static_cast<int64_t>(cached_argmax_.size()) / planes;
+  runtime::parallel_for(0, planes, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p)
+      for (int64_t j = p * out_plane; j < (p + 1) * out_plane; ++j)
+        pgi[cached_argmax_[static_cast<size_t>(j)]] += pg[j];
+  });
   return grad_in;
 }
 
@@ -97,19 +115,21 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float* plane = px + i * h * w;
-    float* oplane = po + i * oh * ow;
-    for (int64_t y = 0; y < oh; ++y) {
-      for (int64_t xx = 0; xx < ow; ++xx) {
-        float acc = 0.0f;
-        for (int64_t kh = 0; kh < kernel_; ++kh)
-          for (int64_t kw = 0; kw < kernel_; ++kw)
-            acc += plane[(y * stride_ + kh) * w + xx * stride_ + kw];
-        oplane[y * ow + xx] = acc * inv;
+  runtime::parallel_for(0, n * c, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* plane = px + i * h * w;
+      float* oplane = po + i * oh * ow;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          float acc = 0.0f;
+          for (int64_t kh = 0; kh < kernel_; ++kh)
+            for (int64_t kw = 0; kw < kernel_; ++kw)
+              acc += plane[(y * stride_ + kh) * w + xx * stride_ + kw];
+          oplane[y * ow + xx] = acc * inv;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -123,17 +143,19 @@ Tensor AvgPool2d::backward(const Tensor& grad_out) {
   const int64_t planes = cached_in_shape_[0] * cached_in_shape_[1];
   const float* pg = grad_out.data();
   float* pgi = grad_in.data();
-  for (int64_t i = 0; i < planes; ++i) {
-    const float* gplane = pg + i * oh * ow;
-    float* giplane = pgi + i * h * w;
-    for (int64_t y = 0; y < oh; ++y)
-      for (int64_t xx = 0; xx < ow; ++xx) {
-        const float gv = gplane[y * ow + xx] * inv;
-        for (int64_t kh = 0; kh < kernel_; ++kh)
-          for (int64_t kw = 0; kw < kernel_; ++kw)
-            giplane[(y * stride_ + kh) * w + xx * stride_ + kw] += gv;
-      }
-  }
+  runtime::parallel_for(0, planes, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* gplane = pg + i * oh * ow;
+      float* giplane = pgi + i * h * w;
+      for (int64_t y = 0; y < oh; ++y)
+        for (int64_t xx = 0; xx < ow; ++xx) {
+          const float gv = gplane[y * ow + xx] * inv;
+          for (int64_t kh = 0; kh < kernel_; ++kh)
+            for (int64_t kw = 0; kw < kernel_; ++kw)
+              giplane[(y * stride_ + kh) * w + xx * stride_ + kw] += gv;
+        }
+    }
+  });
   return grad_in;
 }
 
@@ -154,12 +176,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(plane);
-  for (int64_t i = 0; i < n * c; ++i) {
-    double acc = 0.0;
-    const float* p = px + i * plane;
-    for (int64_t j = 0; j < plane; ++j) acc += p[j];
-    po[i] = static_cast<float>(acc) * inv;
-  }
+  runtime::parallel_for(0, n * c, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      const float* p = px + i * plane;
+      for (int64_t j = 0; j < plane; ++j) acc += p[j];
+      po[i] = static_cast<float>(acc) * inv;
+    }
+  });
   return out;
 }
 
@@ -174,11 +198,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const float inv = 1.0f / static_cast<float>(plane);
   const float* pg = grad_out.data();
   float* pgi = grad_in.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float gv = pg[i] * inv;
-    float* p = pgi + i * plane;
-    for (int64_t j = 0; j < plane; ++j) p[j] = gv;
-  }
+  runtime::parallel_for(0, n * c, kPlaneGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float gv = pg[i] * inv;
+      float* p = pgi + i * plane;
+      for (int64_t j = 0; j < plane; ++j) p[j] = gv;
+    }
+  });
   return grad_in;
 }
 

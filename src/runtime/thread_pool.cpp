@@ -1,0 +1,189 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::runtime {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+// One parallel_for invocation. Chunks are fixed up front; workers and the
+// calling thread pull chunk indices from `next` until exhausted.
+struct ThreadPool::Job {
+  RangeFn fn;
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  int64_t end = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception, guarded by mu
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_worker() { return tls_in_worker; }
+
+void ThreadPool::run_chunks(Job& job) {
+  while (true) {
+    const int64_t idx = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= job.num_chunks) return;
+    const int64_t b = job.begin + idx * job.grain;
+    const int64_t e = std::min(b + job.grain, job.end);
+    try {
+      job.fn(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lk(job.mu);
+      job.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_worker = true;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      // Drop fully-claimed jobs from the front, then work on the first live
+      // one. Jobs stay queued until every chunk has been claimed so several
+      // workers can drain the same job.
+      while (!jobs_.empty() &&
+             jobs_.front()->next.load(std::memory_order_relaxed) >=
+                 jobs_.front()->num_chunks)
+        jobs_.pop_front();
+      if (jobs_.empty()) continue;
+      job = jobs_.front();
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end, int64_t grain,
+                              const RangeFn& fn) {
+  if (end <= begin) return;
+  check_arg(grain > 0, "parallel_for: grain must be positive");
+  const int64_t n = end - begin;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+
+  // Serial paths: single chunk, no workers, or already inside a pool chunk
+  // (nested parallelism executes inline to avoid deadlock).
+  if (num_chunks == 1 || workers_.empty() || tls_in_worker) {
+    for (int64_t idx = 0; idx < num_chunks; ++idx) {
+      const int64_t b = begin + idx * grain;
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->begin = begin;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->end = end;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+
+  // The caller is a lane too. Mark it as a worker for the duration so any
+  // nested parallel_for inside fn stays serial here as well.
+  tls_in_worker = true;
+  run_chunks(*job);
+  tls_in_worker = false;
+
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->cv.wait(lk, [&] {
+    return job->done.load(std::memory_order_acquire) == job->num_chunks;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+// ---------------------------------------------------------- global pool
+
+int parse_thread_count(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 1) return fallback;
+  return static_cast<int>(v);
+}
+
+namespace {
+
+// The owner joins workers at static destruction; the atomic mirror gives
+// parallel_for a lock-free fast path (it runs per GEMM call, so a mutex
+// here would serialize every kernel dispatch across lanes).
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool_owner;
+std::atomic<ThreadPool*> g_pool{nullptr};
+
+}  // namespace
+
+int default_num_threads() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return parse_thread_count(std::getenv("MTLSPLIT_NUM_THREADS"),
+                            hw > 0 ? hw : 1);
+}
+
+ThreadPool& global_pool() {
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  if (p) return *p;
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  p = g_pool.load(std::memory_order_relaxed);
+  if (!p) {
+    g_pool_owner = std::make_unique<ThreadPool>(default_num_threads());
+    p = g_pool_owner.get();
+    g_pool.store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+int num_threads() { return global_pool().num_threads(); }
+
+void set_num_threads(int n) {
+  check_arg(n >= 1, "set_num_threads: need at least one lane");
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool.store(nullptr, std::memory_order_release);
+  g_pool_owner.reset();  // joins the old workers first
+  g_pool_owner = std::make_unique<ThreadPool>(n);
+  g_pool.store(g_pool_owner.get(), std::memory_order_release);
+}
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const RangeFn& fn) {
+  global_pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace mtlsplit::runtime

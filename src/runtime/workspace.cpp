@@ -1,0 +1,26 @@
+#include "runtime/workspace.hpp"
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::runtime {
+
+float* Workspace::floats(Slot slot, int64_t n) {
+  check_arg(slot >= 0 && slot < kSlotCount, "Workspace: bad slot");
+  check_arg(n >= 0, "Workspace: negative size");
+  auto& buf = slots_[slot];
+  if (static_cast<int64_t>(buf.size()) < n)
+    buf.resize(static_cast<size_t>(n));
+  return buf.data();
+}
+
+int64_t Workspace::capacity(Slot slot) const {
+  check_arg(slot >= 0 && slot < kSlotCount, "Workspace: bad slot");
+  return static_cast<int64_t>(slots_[slot].size());
+}
+
+Workspace& tls_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace mtlsplit::runtime

@@ -22,11 +22,21 @@
 namespace mtlsplit::sc {
 
 /// Where each latency component of one inference went.
+///
+/// The edge/transfer/server components are the paper's §4.2 analytic model
+/// (device FLOP throughput + channel bandwidth); measured_wall_s is the
+/// wall-clock this process actually spent executing the inference, so the
+/// analytic claim can always be checked against a real measurement.
 struct LatencyBreakdown {
   double edge_compute_s = 0.0;
   double transfer_s = 0.0;
   double server_compute_s = 0.0;
   int64_t wire_bytes = 0;
+  /// Measured wall-clock. For ScDeployment::infer this covers the whole
+  /// call; for a pipelined stream it is the time from stream start until
+  /// this item left the server stage.
+  double measured_wall_s = 0.0;
+  /// Analytic end-to-end latency (the §4.2 model, not the measurement).
   double total_s() const {
     return edge_compute_s + transfer_s + server_compute_s;
   }
@@ -44,6 +54,20 @@ struct ScDeploymentConfig {
   ZbEncoding encoding = ZbEncoding::kFloat32;
 };
 
+/// Outcome of a pipelined stream inference (ScDeployment::infer_stream).
+struct StreamResult {
+  /// Per-input results, in input order; outputs are bit-identical to
+  /// calling infer() on each input sequentially.
+  std::vector<InferenceResult> results;
+  /// Wall-clock actually spent on the whole stream (stages overlapped).
+  double measured_wall_s = 0.0;
+  /// Analytic latency had the items run strictly one after another.
+  double analytic_serial_s = 0.0;
+  /// Analytic latency of the three-stage pipeline: stage j of item i
+  /// starts once item i left stage j-1 AND item i-1 left stage j.
+  double analytic_pipelined_s = 0.0;
+};
+
 /// Split-computing executor for an MtlSplitModel.
 class ScDeployment {
  public:
@@ -55,6 +79,14 @@ class ScDeployment {
   /// deserialise -> server heads. Throws if the channel corrupted the
   /// message (CRC failure), like a real transport would.
   InferenceResult infer(const Tensor& x);
+
+  /// Runs a stream of inputs through the split as a real three-stage
+  /// pipeline: while item i's Z_b crosses the wire, item i+1 is already on
+  /// the edge backbone and item i-1 on the server heads — the overlapped
+  /// execution the paper's Fig. 1 deployment implies but infer() serialises.
+  /// Stage threads share the runtime pool for their tensor kernels.
+  /// Rethrows the first stage error (e.g. a CRC failure) after draining.
+  StreamResult infer_stream(const std::vector<Tensor>& inputs);
 
   /// Edge-side working-set estimate (backbone params + activations).
   double edge_memory_bytes(const Shape& image_shape) const;

@@ -2,17 +2,15 @@
 
 namespace mtlsplit {
 
-void im2col(const float* img, const ConvGeom& g, Tensor& cols) {
+void im2col(const float* img, const ConvGeom& g, float* cols) {
   g.validate();
   const int64_t oh = g.out_h(), ow = g.out_w();
-  const int64_t rows = g.in_c * g.kernel_h * g.kernel_w;
-  if (cols.shape() != Shape{rows, oh * ow}) cols = Tensor({rows, oh * ow});
-  float* pc = cols.data();
   for (int64_t c = 0; c < g.in_c; ++c) {
     const float* plane = img + c * g.in_h * g.in_w;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
-        float* crow = pc + ((c * g.kernel_h + kh) * g.kernel_w + kw) * oh * ow;
+        float* crow =
+            cols + ((c * g.kernel_h + kh) * g.kernel_w + kw) * oh * ow;
         for (int64_t y = 0; y < oh; ++y) {
           const int64_t iy = y * g.stride + kh - g.pad;
           const bool y_ok = iy >= 0 && iy < g.in_h;
@@ -28,20 +26,23 @@ void im2col(const float* img, const ConvGeom& g, Tensor& cols) {
   }
 }
 
-void col2im(const Tensor& cols, const ConvGeom& g, float* img) {
+void im2col(const float* img, const ConvGeom& g, Tensor& cols) {
+  g.validate();
+  const int64_t rows = g.in_c * g.kernel_h * g.kernel_w;
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  if (cols.shape() != Shape{rows, oh * ow}) cols = Tensor({rows, oh * ow});
+  im2col(img, g, cols.data());
+}
+
+void col2im(const float* cols, const ConvGeom& g, float* img) {
   g.validate();
   const int64_t oh = g.out_h(), ow = g.out_w();
-  const int64_t rows = g.in_c * g.kernel_h * g.kernel_w;
-  check_arg(cols.shape() == Shape{rows, oh * ow},
-            msg_cat("col2im: cols shape ", shape_str(cols.shape()),
-                    " does not match geometry"));
-  const float* pc = cols.data();
   for (int64_t c = 0; c < g.in_c; ++c) {
     float* plane = img + c * g.in_h * g.in_w;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
         const float* crow =
-            pc + ((c * g.kernel_h + kh) * g.kernel_w + kw) * oh * ow;
+            cols + ((c * g.kernel_h + kh) * g.kernel_w + kw) * oh * ow;
         for (int64_t y = 0; y < oh; ++y) {
           const int64_t iy = y * g.stride + kh - g.pad;
           if (iy < 0 || iy >= g.in_h) continue;
@@ -54,6 +55,15 @@ void col2im(const Tensor& cols, const ConvGeom& g, float* img) {
       }
     }
   }
+}
+
+void col2im(const Tensor& cols, const ConvGeom& g, float* img) {
+  g.validate();
+  const int64_t rows = g.in_c * g.kernel_h * g.kernel_w;
+  check_arg(cols.shape() == Shape{rows, g.out_h() * g.out_w()},
+            msg_cat("col2im: cols shape ", shape_str(cols.shape()),
+                    " does not match geometry"));
+  col2im(cols.data(), g, img);
 }
 
 }  // namespace mtlsplit

@@ -33,11 +33,19 @@ struct ConvGeom {
 };
 
 /// Unrolls one image [C, H, W] (flattened view into @p img) into the patch
-/// matrix [C*KH*KW, OH*OW] stored in @p cols (resized by the callee).
+/// matrix [C*KH*KW, OH*OW] written to @p cols (capacity is the caller's
+/// responsibility — conv layers hand in a runtime::Workspace buffer that
+/// persists across samples instead of reallocating per call).
+void im2col(const float* img, const ConvGeom& g, float* cols);
+
+/// Tensor-backed convenience overload; resizes @p cols when needed.
 void im2col(const float* img, const ConvGeom& g, Tensor& cols);
 
-/// Adjoint of im2col: accumulates the patch matrix back into @p img
-/// (img must be pre-zeroed by the caller; size C*H*W).
+/// Adjoint of im2col: accumulates the patch matrix [C*KH*KW, OH*OW] at
+/// @p cols back into @p img (img must be pre-zeroed; size C*H*W).
+void col2im(const float* cols, const ConvGeom& g, float* img);
+
+/// Tensor-backed convenience overload; validates the cols shape.
 void col2im(const Tensor& cols, const ConvGeom& g, float* img);
 
 }  // namespace mtlsplit

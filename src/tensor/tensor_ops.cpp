@@ -4,9 +4,17 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/gemm.hpp"
+
 namespace mtlsplit::ops {
 
 namespace {
+
+// Elementwise work below this many indices per chunk is not worth shipping
+// to the pool; parallel_for also stays serial when one chunk covers all.
+constexpr int64_t kEwGrain = 1 << 15;
 
 void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   check_arg(same_shape(a.shape(), b.shape()),
@@ -21,8 +29,11 @@ Tensor map2(const Tensor& a, const Tensor& b, const char* op, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  runtime::parallel_for(0, a.numel(), kEwGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i)
+                            po[i] = f(pa[i], pb[i]);
+                        });
   return out;
 }
 
@@ -31,8 +42,10 @@ Tensor map1(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  runtime::parallel_for(0, a.numel(), kEwGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+                        });
   return out;
 }
 
@@ -62,20 +75,29 @@ void add_(Tensor& a, const Tensor& b) {
   require_same_shape(a, b, "add_");
   float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  runtime::parallel_for(0, a.numel(), kEwGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+                        });
 }
 
 void scale_(Tensor& a, float s) {
-  for (float& v : a.span()) v *= s;
+  float* pa = a.data();
+  runtime::parallel_for(0, a.numel(), kEwGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) pa[i] *= s;
+                        });
 }
 
 void axpy_(Tensor& y, float alpha, const Tensor& x) {
   require_same_shape(y, x, "axpy_");
   float* py = y.data();
   const float* px = x.data();
-  const int64_t n = y.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  runtime::parallel_for(0, y.numel(), kEwGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i)
+                            py[i] += alpha * px[i];
+                        });
 }
 
 Tensor neg(const Tensor& a) {
@@ -167,20 +189,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
             msg_cat("matmul: inner dims differ, ", shape_str(a.shape()),
                     " vs ", shape_str(b.shape())));
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: the innermost loop streams both B and C rows, which
-  // the compiler auto-vectorizes; good enough for the CPU-scale models here.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  detail::gemm(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -191,20 +200,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
             msg_cat("matmul_tn: outer dims differ, ", shape_str(a.shape()),
                     " vs ", shape_str(b.shape())));
   Tensor c({k, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C[kk, j] = sum_i A[i, kk] * B[i, j]
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = pc + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // C = A^T B: transpose A into the per-thread workspace, then it is a
+  // plain GEMM whose reduction still runs over i in index order.
+  float* at = runtime::tls_workspace().floats(
+      runtime::Workspace::kGemmOperand, m * k);
+  detail::transpose(a.data(), m, k, at);
+  detail::gemm(k, n, m, at, b.data(), c.data());
   return c;
 }
 
@@ -215,20 +216,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
             msg_cat("matmul_nt: inner dims differ, ", shape_str(a.shape()),
                     " vs ", shape_str(b.shape())));
   Tensor c({m, k});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C[i, kk] = dot(A row i, B row kk): both rows are contiguous.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * n;
-    float* crow = pc + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* brow = pb + kk * n;
-      double acc = 0.0;
-      for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(arow[j]) * brow[j];
-      crow[kk] = static_cast<float>(acc);
-    }
-  }
+  detail::gemm_nt(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -236,10 +224,7 @@ Tensor transpose2d(const Tensor& a) {
   check_arg(a.dim() == 2, "transpose2d: tensor must be 2-d");
   const int64_t m = a.size(0), n = a.size(1);
   Tensor out({n, m});
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  detail::transpose(a.data(), m, n, out.data());
   return out;
 }
 
@@ -250,10 +235,13 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
   const int64_t n = a.size(0), c = a.size(1);
   float* pa = a.data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = pa + i * c;
-    for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
-  }
+  const int64_t row_grain = std::max<int64_t>(1, kEwGrain / std::max<int64_t>(c, 1));
+  runtime::parallel_for(0, n, row_grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* row = pa + i * c;
+      for (int64_t j = 0; j < c; ++j) row[j] += pb[j];
+    }
+  });
 }
 
 Tensor softmax_rows(const Tensor& a) {
@@ -262,19 +250,22 @@ Tensor softmax_rows(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * c;
-    float* orow = po + i * c;
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - m);
-      z += orow[j];
+  const int64_t row_grain = std::max<int64_t>(1, kEwGrain / std::max<int64_t>(c, 1));
+  runtime::parallel_for(0, n, row_grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = p + i * c;
+      float* orow = po + i * c;
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        orow[j] = std::exp(row[j] - m);
+        z += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -284,16 +275,20 @@ Tensor log_softmax_rows(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * c;
-    float* orow = po + i * c;
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
-    const float logz = m + static_cast<float>(std::log(z));
-    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
-  }
+  const int64_t row_grain = std::max<int64_t>(1, kEwGrain / std::max<int64_t>(c, 1));
+  runtime::parallel_for(0, n, row_grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = p + i * c;
+      float* orow = po + i * c;
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < c; ++j) m = std::max(m, row[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < c; ++j)
+        z += std::exp(static_cast<double>(row[j] - m));
+      const float logz = m + static_cast<float>(std::log(z));
+      for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
+    }
+  });
   return out;
 }
 

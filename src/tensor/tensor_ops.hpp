@@ -3,6 +3,13 @@
 // All binary tensor-tensor ops require identical shapes (there is no general
 // broadcasting); the only broadcast-like helper is add_row_bias, which is
 // what the NN layers actually need.
+//
+// Threading (DESIGN.md §7): the GEMMs, elementwise maps and row-wise
+// softmaxes run on the runtime thread pool via parallel_for; results are
+// bit-identical for any MTLSPLIT_NUM_THREADS because writes are disjoint
+// and every per-element reduction keeps a fixed index order. Scalar
+// reductions (sum/mean/max/min/sq_norm) stay serial on purpose — their
+// accumulation order is part of the numeric contract.
 #pragma once
 
 #include "tensor/tensor.hpp"

@@ -79,6 +79,64 @@ TEST(ScDeployment, CorruptedChannelRaises) {
   EXPECT_THROW(dep.infer(rig.x), std::invalid_argument);
 }
 
+TEST(ScDeployment, InferStreamMatchesSequentialBitwise) {
+  Rig rig;
+  sc::Channel seq_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment seq(*rig.model, seq_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  std::vector<Tensor> inputs;
+  Rng rng(17);
+  for (int i = 0; i < 4; ++i) {
+    Tensor x({1, 3, 16, 16});
+    rng.fill_uniform(x, 0.0f, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+  std::vector<sc::InferenceResult> expected;
+  for (const Tensor& x : inputs) expected.push_back(seq.infer(x));
+
+  sc::Channel pipe_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment pipe(*rig.model, pipe_ch, sc::jetson_nano(),
+                        sc::rtx3090_server());
+  const sc::StreamResult stream = pipe.infer_stream(inputs);
+  ASSERT_EQ(stream.results.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(stream.results[i].logits.size(), expected[i].logits.size());
+    for (size_t j = 0; j < expected[i].logits.size(); ++j)
+      EXPECT_TRUE(stream.results[i].logits[j].equals(expected[i].logits[j]))
+          << "item " << i << " task " << j
+          << " diverged between pipelined and sequential execution";
+    EXPECT_DOUBLE_EQ(stream.results[i].latency.total_s(),
+                     expected[i].latency.total_s());
+    EXPECT_GT(stream.results[i].latency.measured_wall_s, 0.0);
+  }
+  EXPECT_EQ(pipe_ch.messages_sent(), 4);
+  EXPECT_GT(stream.measured_wall_s, 0.0);
+  EXPECT_GT(stream.analytic_serial_s, 0.0);
+  // Overlapping stages can only help, and the pipeline is never faster
+  // than its slowest stage chain.
+  EXPECT_LE(stream.analytic_pipelined_s, stream.analytic_serial_s + 1e-12);
+  EXPECT_GT(stream.analytic_pipelined_s, 0.0);
+}
+
+TEST(ScDeployment, InferStreamPropagatesChannelCorruption) {
+  Rig rig;
+  sc::Channel ch({.bandwidth_bps = 1e9, .corrupt_prob = 0.3f, .seed = 3});
+  sc::ScDeployment dep(*rig.model, ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  std::vector<Tensor> inputs(3, rig.x);
+  EXPECT_THROW(dep.infer_stream(inputs), std::invalid_argument);
+}
+
+TEST(ScDeployment, InferStreamEmptyInputIsANoop) {
+  Rig rig;
+  sc::Channel ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment dep(*rig.model, ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  const sc::StreamResult r = dep.infer_stream({});
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.measured_wall_s, 0.0);
+}
+
 TEST(RocDeployment, MatchesMonolithicAndShipsRawInput) {
   Rig rig;
   sc::Channel ch({.bandwidth_bps = 1e9});

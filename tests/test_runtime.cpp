@@ -1,0 +1,234 @@
+// Parallel runtime: parallel_for coverage, nesting, thread-count control,
+// workspace reuse, and bit-exact determinism of the threaded kernels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+// Restores the pool to a known lane count when a test exits.
+struct ThreadGuard {
+  explicit ThreadGuard(int lanes) { runtime::set_num_threads(lanes); }
+  ~ThreadGuard() { runtime::set_num_threads(1); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard(4);
+  const struct {
+    int64_t begin, end, grain;
+  } cases[] = {{0, 1000, 7}, {0, 1000, 1000}, {0, 1000, 5000}, {3, 17, 1},
+               {0, 1, 1},    {100, 356, 32}};
+  for (const auto& c : cases) {
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(c.end));
+    runtime::parallel_for(c.begin, c.end, c.grain,
+                          [&](int64_t lo, int64_t hi) {
+                            ASSERT_LT(lo, hi);
+                            for (int64_t i = lo; i < hi; ++i)
+                              hits[static_cast<size_t>(i)]++;
+                          });
+    for (int64_t i = 0; i < c.end; ++i)
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), i >= c.begin ? 1 : 0)
+          << "index " << i << " for range [" << c.begin << ", " << c.end
+          << ") grain " << c.grain;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  ThreadGuard guard(4);
+  int calls = 0;
+  runtime::parallel_for(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  runtime::parallel_for(5, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  ThreadGuard guard(4);
+  std::atomic<int> total{0};
+  runtime::parallel_for(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      runtime::parallel_for(0, 100, 10, [&](int64_t ilo, int64_t ihi) {
+        total += static_cast<int>(ihi - ilo);
+      });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelFor, ConcurrentCallersShareThePool) {
+  // The SC pipeline issues parallel_for from several external threads at
+  // once; both loops must complete and cover their ranges.
+  ThreadGuard guard(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread t1([&] {
+    runtime::parallel_for(0, 5000, 64,
+                          [&](int64_t lo, int64_t hi) {
+                            a += static_cast<int>(hi - lo);
+                          });
+  });
+  std::thread t2([&] {
+    runtime::parallel_for(0, 3000, 64,
+                          [&](int64_t lo, int64_t hi) {
+                            b += static_cast<int>(hi - lo);
+                          });
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 5000);
+  EXPECT_EQ(b.load(), 3000);
+}
+
+TEST(ParallelFor, SingleLaneStaysOnCallingThread) {
+  ThreadGuard guard(1);
+  EXPECT_EQ(runtime::num_threads(), 1);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  runtime::parallel_for(0, 1000, 10, [&](int64_t, int64_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolSurvives) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      runtime::parallel_for(0, 100, 1,
+                            [&](int64_t lo, int64_t) {
+                              if (lo == 42) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // Pool still functional afterwards.
+  std::atomic<int> total{0};
+  runtime::parallel_for(0, 64, 4, [&](int64_t lo, int64_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Runtime, ParseThreadCount) {
+  EXPECT_EQ(runtime::parse_thread_count("4", 8), 4);
+  EXPECT_EQ(runtime::parse_thread_count("1", 8), 1);
+  EXPECT_EQ(runtime::parse_thread_count(nullptr, 8), 8);
+  EXPECT_EQ(runtime::parse_thread_count("", 8), 8);
+  EXPECT_EQ(runtime::parse_thread_count("abc", 8), 8);
+  EXPECT_EQ(runtime::parse_thread_count("0", 8), 8);
+  EXPECT_EQ(runtime::parse_thread_count("-3", 8), 8);
+  EXPECT_EQ(runtime::parse_thread_count("2x", 8), 8);
+}
+
+TEST(Workspace, BuffersGrowAndPersistPerSlot) {
+  auto& ws = runtime::tls_workspace();
+  float* p = ws.floats(runtime::Workspace::kIm2col, 128);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(ws.capacity(runtime::Workspace::kIm2col), 128);
+  p[0] = 7.0f;
+  p[127] = 9.0f;
+  // A smaller request must not shrink or move the buffer.
+  float* q = ws.floats(runtime::Workspace::kIm2col, 16);
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(q[0], 7.0f);
+  EXPECT_EQ(q[127], 9.0f);
+  // Slots are independent.
+  float* r = ws.floats(runtime::Workspace::kConvScratch, 64);
+  EXPECT_NE(static_cast<void*>(r), static_cast<void*>(p));
+}
+
+TEST(Workspace, ArenasAreThreadLocal) {
+  float* main_buf = runtime::tls_workspace().floats(
+      runtime::Workspace::kReduce, 32);
+  float* other_buf = nullptr;
+  std::thread t([&] {
+    other_buf = runtime::tls_workspace().floats(
+        runtime::Workspace::kReduce, 32);
+  });
+  t.join();
+  EXPECT_NE(main_buf, other_buf);
+}
+
+// ------------------------------------------------------ determinism checks
+
+TEST(Determinism, MatmulBitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  Tensor a({97, 113}), b({113, 85}), c({97, 60}), d({85, 113});
+  rng.fill_uniform(a, -1.0f, 1.0f);
+  rng.fill_uniform(b, -1.0f, 1.0f);
+  rng.fill_uniform(c, -1.0f, 1.0f);
+  rng.fill_uniform(d, -1.0f, 1.0f);
+
+  runtime::set_num_threads(1);
+  const Tensor c1 = ops::matmul(a, b);
+  const Tensor tn1 = ops::matmul_tn(a, c);
+  const Tensor nt1 = ops::matmul_nt(a, d);
+
+  runtime::set_num_threads(4);
+  const Tensor c4 = ops::matmul(a, b);
+  const Tensor tn4 = ops::matmul_tn(a, c);
+  const Tensor nt4 = ops::matmul_nt(a, d);
+  runtime::set_num_threads(1);
+
+  EXPECT_TRUE(c1.equals(c4));
+  EXPECT_TRUE(tn1.equals(tn4));
+  EXPECT_TRUE(nt1.equals(nt4));
+}
+
+TEST(Determinism, ConvForwardBackwardBitIdenticalAcrossThreadCounts) {
+  auto run = [](int lanes, Tensor& out, Tensor& gin, Tensor& gw, Tensor& gb) {
+    runtime::set_num_threads(lanes);
+    Rng rng(5);  // identical weights for both runs
+    nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+    Tensor x({6, 3, 10, 10});
+    Rng drng(6);
+    drng.fill_uniform(x, -1.0f, 1.0f);
+    out = conv.forward(x);
+    Tensor g(out.shape());
+    drng.fill_uniform(g, -1.0f, 1.0f);
+    gin = conv.backward(g);
+    gw = conv.parameters()[0]->grad.clone();
+    gb = conv.parameters()[1]->grad.clone();
+  };
+  Tensor out1, gin1, gw1, gb1, out4, gin4, gw4, gb4;
+  run(1, out1, gin1, gw1, gb1);
+  run(4, out4, gin4, gw4, gb4);
+  runtime::set_num_threads(1);
+  EXPECT_TRUE(out1.equals(out4));
+  EXPECT_TRUE(gin1.equals(gin4));
+  EXPECT_TRUE(gw1.equals(gw4));
+  EXPECT_TRUE(gb1.equals(gb4));
+}
+
+TEST(Determinism, DepthwiseConvBitIdenticalAcrossThreadCounts) {
+  auto run = [](int lanes, Tensor& out, Tensor& gin, Tensor& gw) {
+    runtime::set_num_threads(lanes);
+    Rng rng(7);
+    nn::DepthwiseConv2d conv(8, 3, 1, 1, rng);
+    Tensor x({4, 8, 9, 9});
+    Rng drng(8);
+    drng.fill_uniform(x, -1.0f, 1.0f);
+    out = conv.forward(x);
+    Tensor g(out.shape());
+    drng.fill_uniform(g, -1.0f, 1.0f);
+    gin = conv.backward(g);
+    gw = conv.parameters()[0]->grad.clone();
+  };
+  Tensor out1, gin1, gw1, out4, gin4, gw4;
+  run(1, out1, gin1, gw1);
+  run(4, out4, gin4, gw4);
+  runtime::set_num_threads(1);
+  EXPECT_TRUE(out1.equals(out4));
+  EXPECT_TRUE(gin1.equals(gin4));
+  EXPECT_TRUE(gw1.equals(gw4));
+}
+
+}  // namespace
+}  // namespace mtlsplit
