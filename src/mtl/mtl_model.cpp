@@ -111,6 +111,24 @@ nn::Sequential& MtlSplitModel::head(size_t j) {
   return *heads_[j];
 }
 
+void copy_model_state(MtlSplitModel& dst, MtlSplitModel& src) {
+  const auto dp = dst.all_params();
+  const auto sp = src.all_params();
+  check_arg(dp.size() == sp.size(),
+            "copy_model_state: models are not structurally identical");
+  for (size_t i = 0; i < dp.size(); ++i) {
+    check_arg(same_shape(dp[i]->value.shape(), sp[i]->value.shape()),
+              msg_cat("copy_model_state: parameter shape mismatch at ",
+                      sp[i]->name));
+    dp[i]->value = sp[i]->value;
+  }
+  const auto db = dst.all_buffers();
+  const auto sb = src.all_buffers();
+  check_arg(db.size() == sb.size(),
+            "copy_model_state: buffer count mismatch");
+  for (size_t i = 0; i < db.size(); ++i) *db[i] = *sb[i];
+}
+
 int64_t MtlSplitModel::zb_dim(const Shape& image_shape) const {
   check_arg(image_shape.size() == 3, "zb_dim: image shape must be {C,H,W}");
   const Shape out = backbone_->output_shape(

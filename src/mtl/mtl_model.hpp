@@ -86,4 +86,10 @@ struct MtlSplitModelConfig {
   int64_t head_hidden_dim = 64;
 };
 
+/// Copies every parameter value and buffer of @p src into @p dst. The two
+/// models must be structurally identical (same factory config); afterwards
+/// dst produces bitwise-identical outputs. This is how the serving layer
+/// stamps out per-worker server replicas of one trained model.
+void copy_model_state(MtlSplitModel& dst, MtlSplitModel& src);
+
 }  // namespace mtlsplit::core

@@ -11,6 +11,17 @@ Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
             "Channel: bad corruption probability");
 }
 
+Channel Channel::fork(uint64_t session) const {
+  ChannelConfig cfg = cfg_;
+  // splitmix64 of (seed, session): decorrelates the per-session corruption
+  // streams even for adjacent session ids.
+  uint64_t z = cfg.seed + 0x9e3779b97f4a7c15ULL * (session + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  cfg.seed = z ^ (z >> 31);
+  return Channel(cfg);
+}
+
 double Channel::transfer_time(int64_t bytes) const {
   check_arg(bytes >= 0, "Channel::transfer_time: negative size");
   const double effective_bw = cfg_.bandwidth_bps * (1.0 - cfg_.degradation);

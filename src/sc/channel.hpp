@@ -35,6 +35,14 @@ class Channel {
   /// byte corruption per corrupt_prob. Returns the received bytes.
   std::vector<uint8_t> transmit(std::vector<uint8_t> message);
 
+  /// Independent session over the same physical link: identical latency
+  /// model, but its own corruption RNG stream (derived from the base seed
+  /// and @p session) and its own statistics. Channel is not thread-safe —
+  /// transmit() mutates the RNG and counters — so concurrent users (e.g.
+  /// the serving layer's worker pool) each fork a session instead of
+  /// sharing one Channel.
+  Channel fork(uint64_t session) const;
+
   double total_time() const { return total_time_; }
   int64_t total_bytes() const { return total_bytes_; }
   int64_t messages_sent() const { return messages_; }

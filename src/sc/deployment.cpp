@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "tensor/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
 
 namespace mtlsplit::sc {
 
@@ -109,6 +110,85 @@ InferenceResult ScDeployment::infer(const Tensor& x) {
   out.latency.server_compute_s =
       server_.compute_time(heads_flops(*model_, zb_rx.shape()));
   out.latency.measured_wall_s = seconds_since(t0);
+  return out;
+}
+
+BatchResult ScDeployment::infer_batch(const Tensor& x) {
+  check_arg(x.dim() == 4 && x.size(0) > 0,
+            "infer_batch: input must be [B, C, H, W] with B >= 1");
+  BatchResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const int64_t b = x.size(0);
+  out.items.resize(static_cast<size_t>(b));
+
+  // --- Edge: the backbone runs once over the batch. Per-sample results are
+  // bitwise identical to single-sample execution because every kernel on
+  // the path reduces each output row in a fixed per-row order (DESIGN.md
+  // §7); the analytic latency is attributed per request at batch size 1.
+  const Tensor zb = model_->forward_backbone(x);
+  const double edge_s = edge_.compute_time(
+      model_->backbone().flops({1, x.size(1), x.size(2), x.size(3)}));
+
+  // --- Wire: one message per sample, quantisation parameters computed on
+  // the sample's own Z_b slice (exactly what that client would have sent).
+  std::vector<Tensor> survivors;
+  std::vector<size_t> owner;
+  for (int64_t i = 0; i < b; ++i) {
+    BatchItem& item = out.items[static_cast<size_t>(i)];
+    LatencyBreakdown& lat = item.result.latency;
+    lat.edge_compute_s = edge_s;
+    try {
+      // B == 1 skips the row copy: zb already is that sample's slice.
+      Tensor zrow_storage;
+      const Tensor* zrow = &zb;
+      if (b > 1) {
+        zrow_storage = ops::slice_batch(zb, i, i + 1);
+        zrow = &zrow_storage;
+      }
+      std::vector<uint8_t> msg;
+      if (cfg_.encoding == ZbEncoding::kFloat32) {
+        msg = serialize_tensor(*zrow);
+      } else {
+        const QuantizedTensor q = quantize_int8(*zrow);
+        msg = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
+      }
+      lat.wire_bytes = static_cast<int64_t>(msg.size());
+      lat.transfer_s = channel_->transfer_time(lat.wire_bytes);
+      out.wire_bytes += lat.wire_bytes;
+      const std::vector<uint8_t> received = channel_->transmit(std::move(msg));
+      const WireTensor wt = deserialize_tensor(received);
+      survivors.push_back(
+          wt.dtype == WireDtype::kFloat32
+              ? wt.f32
+              : dequantize_int8({wt.shape, wt.i8, wt.scale, wt.zero_point}));
+      owner.push_back(static_cast<size_t>(i));
+    } catch (...) {
+      item.error = std::current_exception();
+    }
+  }
+
+  // --- Server: heads run once over the surviving sub-batch, then each
+  // task's logit rows scatter back to the owning request.
+  if (!survivors.empty()) {
+    const Tensor zb_rx = survivors.size() == 1 ? std::move(survivors[0])
+                                               : ops::concat_batch(survivors);
+    std::vector<Tensor> logits = model_->forward_heads(zb_rx);
+    const double server_s =
+        server_.compute_time(heads_flops(*model_, {1, zb_rx.size(1)}));
+    for (size_t s = 0; s < owner.size(); ++s) {
+      BatchItem& item = out.items[owner[s]];
+      item.result.logits.reserve(logits.size());
+      for (Tensor& l : logits)
+        item.result.logits.push_back(
+            owner.size() == 1
+                ? std::move(l)
+                : ops::slice_batch(l, static_cast<int64_t>(s),
+                                   static_cast<int64_t>(s) + 1));
+      item.result.latency.server_compute_s = server_s;
+      item.result.latency.measured_wall_s = seconds_since(t0);
+    }
+  }
+  out.measured_wall_s = seconds_since(t0);
   return out;
 }
 

@@ -14,6 +14,8 @@
 // style of analysis the paper performs in §4.2.
 #pragma once
 
+#include <exception>
+
 #include "mtl/mtl_model.hpp"
 #include "sc/channel.hpp"
 #include "sc/device.hpp"
@@ -68,7 +70,30 @@ struct StreamResult {
   double analytic_pipelined_s = 0.0;
 };
 
+/// One request's slice of a batched serving inference (infer_batch).
+struct BatchItem {
+  InferenceResult result;    ///< valid when ok()
+  std::exception_ptr error;  ///< set when this request's wire message failed
+  bool ok() const { return error == nullptr; }
+};
+
+/// Outcome of a batched serving inference: one item per input sample.
+struct BatchResult {
+  std::vector<BatchItem> items;
+  /// Wall-clock for the whole batch.
+  double measured_wall_s = 0.0;
+  /// Total bytes that crossed the link (one message per sample).
+  int64_t wire_bytes = 0;
+};
+
 /// Split-computing executor for an MtlSplitModel.
+///
+/// Not internally synchronised: the model caches activations during
+/// forward, so concurrent infer()/infer_batch() calls on deployments that
+/// share one model race. Concurrent callers (the serve/ worker pool, the
+/// cross-deployment stress tests) give each thread its own model replica
+/// (core::copy_model_state) and channel session (Channel::fork); the
+/// runtime thread pool underneath is shared safely.
 class ScDeployment {
  public:
   ScDeployment(core::MtlSplitModel& model, Channel& channel,
@@ -79,6 +104,17 @@ class ScDeployment {
   /// deserialise -> server heads. Throws if the channel corrupted the
   /// message (CRC failure), like a real transport would.
   InferenceResult infer(const Tensor& x);
+
+  /// Batched serving entry point: each sample of the [B, C, H, W] input is
+  /// an independent client request. The backbone runs once on the whole
+  /// batch, but every sample's Z_b slice is quantised and serialised into
+  /// its OWN wire message — each client owns its transmission, and
+  /// per-sample quantisation parameters keep the outputs bitwise identical
+  /// to per-request infer(). The heads then run once over the samples that
+  /// survived the wire. A CRC failure poisons only the request whose
+  /// message corrupted: its item carries the exception, the rest of the
+  /// batch completes normally.
+  BatchResult infer_batch(const Tensor& x);
 
   /// Runs a stream of inputs through the split as a real three-stage
   /// pipeline: while item i's Z_b crosses the wire, item i+1 is already on

@@ -1,0 +1,29 @@
+#include "serve/batcher.hpp"
+
+namespace mtlsplit::serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchingPolicy policy)
+    : queue_(&queue), policy_(policy) {
+  check_arg(policy_.max_batch_size >= 1,
+            "DynamicBatcher: max_batch_size must be >= 1");
+  check_arg(policy_.max_wait_us >= 0,
+            "DynamicBatcher: max_wait_us must be >= 0");
+}
+
+bool DynamicBatcher::next_batch(std::vector<Request>& out) {
+  out.clear();
+  Request first;
+  if (!queue_->pop(first)) return false;
+  out.push_back(std::move(first));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(policy_.max_wait_us);
+  while (static_cast<int64_t>(out.size()) < policy_.max_batch_size) {
+    Request r;
+    if (!queue_->pop_until(r, deadline)) break;
+    out.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace mtlsplit::serve

@@ -1,0 +1,40 @@
+// Dynamic batching policy for the serving layer (DESIGN.md §8).
+//
+// Single-sample requests from many clients amortise the server's per-batch
+// overhead only if someone coalesces them; the batcher implements the
+// classic size-or-deadline policy: wait (indefinitely) for the first
+// request, then keep filling the batch with requests that arrive within
+// max_wait_us of it, stopping early at max_batch_size. max_wait_us = 0
+// degrades to "take whatever is already queued" (no added latency);
+// max_batch_size = 1 disables batching entirely.
+#pragma once
+
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace mtlsplit::serve {
+
+struct BatchingPolicy {
+  int64_t max_batch_size = 8;  ///< cap on requests coalesced per batch
+  int64_t max_wait_us = 2000;  ///< how long the first request may wait
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, BatchingPolicy policy);
+
+  /// Blocks for the next batch (at least one request). Returns false when
+  /// the queue is closed and fully drained. Safe to run from several
+  /// consumer threads over one queue — each request lands in exactly one
+  /// batch.
+  bool next_batch(std::vector<Request>& out);
+
+  const BatchingPolicy& policy() const { return policy_; }
+
+ private:
+  RequestQueue* queue_;
+  BatchingPolicy policy_;
+};
+
+}  // namespace mtlsplit::serve

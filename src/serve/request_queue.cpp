@@ -1,0 +1,74 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+
+namespace mtlsplit::serve {
+
+std::future<sc::InferenceResult> RequestQueue::submit(Tensor x) {
+  check_arg(x.dim() == 4 && x.size(0) >= 1,
+            "RequestQueue::submit: input must be [B, C, H, W] with B >= 1");
+  Request r;
+  r.x = std::move(x);
+  std::future<sc::InferenceResult> fut = r.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_cv_.wait(lk, [this] {
+      return closed_ || capacity_ == 0 || q_.size() < capacity_;
+    });
+    if (closed_)
+      throw std::runtime_error("RequestQueue: submit after close");
+    r.id = next_id_++;
+    r.enqueued_at = std::chrono::steady_clock::now();
+    q_.push_back(std::move(r));
+  }
+  ready_cv_.notify_one();
+  return fut;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool RequestQueue::take_front(Request& out) {
+  if (q_.empty()) return false;
+  out = std::move(q_.front());
+  q_.pop_front();
+  space_cv_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(Request& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ready_cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  return take_front(out);
+}
+
+bool RequestQueue::pop_until(Request& out,
+                             std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ready_cv_.wait_until(lk, deadline,
+                       [this] { return closed_ || !q_.empty(); });
+  return take_front(out);
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+uint64_t RequestQueue::accepted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_id_;
+}
+
+}  // namespace mtlsplit::serve

@@ -1,0 +1,70 @@
+// Multi-client request intake for the serving layer (DESIGN.md §8).
+//
+// N client threads submit single-sample (or small-batch) inputs and get a
+// future for the per-task logits back; the server side pops requests —
+// singly or, via serve::DynamicBatcher, in coalesced batches. close()
+// rejects new submissions while letting consumers drain what is queued,
+// which is how ScServer shuts down without dropping accepted work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "sc/deployment.hpp"
+
+namespace mtlsplit::serve {
+
+/// One in-flight client request: the input plus the promise its logits
+/// (or its error) will be delivered through.
+struct Request {
+  uint64_t id = 0;
+  Tensor x;  ///< [1, C, H, W] single sample (or a small client-side batch)
+  std::promise<sc::InferenceResult> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+class RequestQueue {
+ public:
+  /// @p capacity bounds the number of queued (accepted, not yet dispatched)
+  /// requests; submit() blocks while full. 0 means unbounded.
+  explicit RequestQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueues @p x and returns the future its result arrives on.
+  /// Throws std::runtime_error once the queue is closed.
+  std::future<sc::InferenceResult> submit(Tensor x);
+
+  /// Closes intake: subsequent submit() throws, pops drain the remainder.
+  void close();
+
+  /// Pops one request; blocks until one arrives or the queue is closed and
+  /// empty (then returns false).
+  bool pop(Request& out);
+
+  /// Pops one request if one is available before @p deadline; returns
+  /// false on timeout or when closed and empty. A deadline in the past
+  /// degenerates to a try-pop.
+  bool pop_until(Request& out,
+                 std::chrono::steady_clock::time_point deadline);
+
+  size_t size() const;
+  bool closed() const;
+  /// Total requests ever accepted (also the id of the next request).
+  uint64_t accepted() const;
+
+ private:
+  bool take_front(Request& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // queue non-empty or closed
+  std::condition_variable space_cv_;  // queue below capacity or closed
+  std::deque<Request> q_;
+  size_t capacity_;
+  uint64_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mtlsplit::serve

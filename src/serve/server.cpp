@@ -1,0 +1,129 @@
+#include "serve/server.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
+                   const sc::Channel& link, sc::DeviceProfile edge,
+                   sc::DeviceProfile server, ServeConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity) {
+  check_arg(!replicas.empty(), "ScServer: need at least one model replica");
+  check_arg(cfg_.batching.max_batch_size >= 1,
+            "ScServer: max_batch_size must be >= 1");
+  channels_.reserve(replicas.size());
+  deployments_.reserve(replicas.size());
+  for (size_t w = 0; w < replicas.size(); ++w) {
+    check_arg(replicas[w] != nullptr, "ScServer: null model replica");
+    replicas[w]->set_training(false);
+    channels_.push_back(link.fork(w));
+    deployments_.push_back(std::make_unique<sc::ScDeployment>(
+        *replicas[w], channels_[w], edge, server, cfg_.deployment));
+  }
+  workers_.reserve(replicas.size());
+  for (size_t w = 0; w < replicas.size(); ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ScServer::~ScServer() { shutdown(); }
+
+std::future<sc::InferenceResult> ScServer::submit(Tensor x) {
+  stats_.on_submit();
+  return queue_.submit(std::move(x));
+}
+
+void ScServer::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ScServer::worker_loop(size_t w) {
+  DynamicBatcher batcher(queue_, cfg_.batching);
+  std::vector<Request> batch;
+  while (batcher.next_batch(batch)) {
+    // Row r of the server batch belongs to batch[owner_of_row[r]]; a
+    // multi-sample request owns a run of consecutive rows.
+    std::vector<int64_t> rows_of;
+    std::vector<Tensor> parts;
+    rows_of.reserve(batch.size());
+    parts.reserve(batch.size());
+    for (Request& r : batch) {
+      rows_of.push_back(r.x.size(0));
+      parts.push_back(std::move(r.x));
+    }
+    size_t settled = 0;      // requests whose promise has been fulfilled
+    bool counted = false;    // stats_.on_batch already recorded this batch
+    try {
+      sc::BatchResult br = deployments_[w]->infer_batch(
+          parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
+      stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes);
+      counted = true;
+      size_t row = 0;
+      const auto now = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Request& r = batch[i];
+        // infer_batch treats every sample as its own request; a client that
+        // submitted k samples gets them merged back: all rows must succeed,
+        // logits are re-concatenated, latency components accumulate.
+        const size_t rows = static_cast<size_t>(rows_of[i]);
+        std::exception_ptr err;
+        for (size_t k = 0; k < rows && !err; ++k)
+          err = br.items[row + k].error;
+        if (err) {
+          r.promise.set_exception(err);
+          stats_.on_request(seconds_between(r.enqueued_at, now), false);
+        } else if (rows == 1) {
+          r.promise.set_value(std::move(br.items[row].result));
+          stats_.on_request(seconds_between(r.enqueued_at, now), true);
+        } else {
+          sc::InferenceResult merged;
+          merged.latency = br.items[row].result.latency;
+          const size_t tasks = br.items[row].result.logits.size();
+          for (size_t j = 0; j < tasks; ++j) {
+            std::vector<Tensor> rows_j;
+            rows_j.reserve(rows);
+            for (size_t k = 0; k < rows; ++k)
+              rows_j.push_back(std::move(br.items[row + k].result.logits[j]));
+            merged.logits.push_back(ops::concat_batch(rows_j));
+          }
+          for (size_t k = 1; k < rows; ++k) {
+            const sc::LatencyBreakdown& lat = br.items[row + k].result.latency;
+            merged.latency.edge_compute_s += lat.edge_compute_s;
+            merged.latency.transfer_s += lat.transfer_s;
+            merged.latency.server_compute_s += lat.server_compute_s;
+            merged.latency.wire_bytes += lat.wire_bytes;
+          }
+          r.promise.set_value(std::move(merged));
+          stats_.on_request(seconds_between(r.enqueued_at, now), true);
+        }
+        settled = i + 1;
+        row += rows;
+      }
+    } catch (...) {
+      // Whole-batch failure (e.g. a shape mismatch between coalesced
+      // requests, or an allocation failure mid-scatter): every owner whose
+      // promise is still open learns why. Requests settled before the
+      // throw keep their results — touching their promise again would
+      // raise std::future_error and kill the worker.
+      const std::exception_ptr err = std::current_exception();
+      if (!counted) stats_.on_batch(static_cast<int64_t>(batch.size()), 0);
+      const auto now = std::chrono::steady_clock::now();
+      for (size_t i = settled; i < batch.size(); ++i) {
+        batch[i].promise.set_exception(err);
+        stats_.on_request(seconds_between(batch[i].enqueued_at, now), false);
+      }
+    }
+  }
+}
+
+}  // namespace mtlsplit::serve

@@ -1,0 +1,75 @@
+// ScServer — the multi-client split-computing inference server
+// (DESIGN.md §8).
+//
+//   client threads --submit()--> RequestQueue --DynamicBatcher--> workers
+//        ^                                                           |
+//        '---- future<InferenceResult> <---- scatter per-task logits-'
+//
+// Each worker owns one model replica (identical weights, see
+// core::copy_model_state), one forked channel session and one
+// ScDeployment, so the compute path runs lock-free; all workers share the
+// runtime thread pool and its workspaces for their tensor kernels. A batch
+// is executed via ScDeployment::infer_batch: per-request wire messages,
+// per-request quantisation, per-request CRC error isolation — so any
+// request's result is bitwise identical to a sequential infer() on the
+// same model, whatever batch it rode in.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "serve/batcher.hpp"
+#include "serve/stats.hpp"
+
+namespace mtlsplit::serve {
+
+struct ServeConfig {
+  BatchingPolicy batching;
+  /// Bound on queued requests (backpressure); 0 = unbounded.
+  size_t queue_capacity = 0;
+  /// Z_b wire encoding, as in ScDeployment.
+  sc::ScDeploymentConfig deployment;
+};
+
+class ScServer {
+ public:
+  /// Starts one server worker per replica. Replicas must be structurally
+  /// identical and hold identical weights (core::copy_model_state); they
+  /// are switched to inference mode here. Each worker forks its own
+  /// channel session from @p link.
+  ScServer(std::vector<core::MtlSplitModel*> replicas, const sc::Channel& link,
+           sc::DeviceProfile edge, sc::DeviceProfile server,
+           ServeConfig cfg = {});
+  ~ScServer();
+  ScServer(const ScServer&) = delete;
+  ScServer& operator=(const ScServer&) = delete;
+
+  /// Enqueues one request ([1, C, H, W], or a small client-side batch that
+  /// is served as one request). Blocks while the queue is at capacity;
+  /// throws std::runtime_error after shutdown().
+  std::future<sc::InferenceResult> submit(Tensor x);
+
+  /// Stops intake, drains every accepted request, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  /// Statistics snapshot; final once shutdown() returned.
+  ServeStats stats() const { return stats_.snapshot(); }
+
+  size_t num_workers() const { return workers_.size(); }
+  const BatchingPolicy& batching() const { return cfg_.batching; }
+
+ private:
+  void worker_loop(size_t w);
+
+  ServeConfig cfg_;
+  std::vector<sc::Channel> channels_;  // one session per worker
+  std::vector<std::unique_ptr<sc::ScDeployment>> deployments_;
+  RequestQueue queue_;
+  StatsCollector stats_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace mtlsplit::serve

@@ -1,0 +1,67 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::serve {
+
+double ServeStats::throughput_rps() const {
+  const int64_t done = completed + failed;
+  return wall_s > 0.0 ? static_cast<double>(done) / wall_s : 0.0;
+}
+
+double ServeStats::percentile(double p) const {
+  check_arg(p > 0.0 && p <= 100.0, "ServeStats::percentile: p in (0, 100]");
+  if (latency_s.empty()) return 0.0;
+  const auto n = static_cast<double>(latency_s.size());
+  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  return latency_s[std::min(latency_s.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double ServeStats::mean_batch_size() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(completed + failed) /
+         static_cast<double>(batches);
+}
+
+void StatsCollector::on_submit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!started_) {
+    started_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+}
+
+void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes) {
+  check_arg(batch_size >= 1, "StatsCollector: empty batch");
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.batches;
+  stats_.wire_bytes += wire_bytes;
+  if (static_cast<int64_t>(stats_.batch_hist.size()) <= batch_size)
+    stats_.batch_hist.resize(static_cast<size_t>(batch_size) + 1, 0);
+  ++stats_.batch_hist[static_cast<size_t>(batch_size)];
+}
+
+void StatsCollector::on_request(double e2e_latency_s, bool ok) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ok)
+    ++stats_.completed;
+  else
+    ++stats_.failed;
+  stats_.latency_s.push_back(e2e_latency_s);
+  last_done_ = std::chrono::steady_clock::now();
+}
+
+ServeStats StatsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServeStats out = stats_;
+  if (started_ && (out.completed + out.failed) > 0)
+    out.wall_s =
+        std::chrono::duration<double>(last_done_ - first_submit_).count();
+  std::sort(out.latency_s.begin(), out.latency_s.end());
+  return out;
+}
+
+}  // namespace mtlsplit::serve

@@ -1,0 +1,52 @@
+// Serving statistics: throughput, end-to-end latency percentiles, the
+// batch-size histogram (did dynamic batching actually coalesce?), and wire
+// traffic. A thread-safe collector accumulates from the worker pool; a
+// plain-value ServeStats snapshot is what callers and BENCH_SERVING.json
+// consume.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mtlsplit::serve {
+
+struct ServeStats {
+  int64_t completed = 0;  ///< requests whose future received logits
+  int64_t failed = 0;     ///< requests whose future received an exception
+  int64_t batches = 0;    ///< server batches executed
+  int64_t wire_bytes = 0; ///< total Z_b bytes that crossed the link
+  /// Wall-clock from the first accepted request to the last completion.
+  double wall_s = 0.0;
+  /// batch_hist[b] = number of server batches that coalesced b requests.
+  std::vector<int64_t> batch_hist;
+  /// Sorted end-to-end latency (enqueue -> future fulfilled) per finished
+  /// request, seconds.
+  std::vector<double> latency_s;
+
+  /// Finished requests per wall-clock second.
+  double throughput_rps() const;
+  /// Nearest-rank latency percentile, @p p in (0, 100].
+  double percentile(double p) const;
+  double mean_batch_size() const;
+};
+
+/// Thread-safe accumulator shared by ScServer's workers.
+class StatsCollector {
+ public:
+  /// Marks wall-clock start at the first accepted request.
+  void on_submit();
+  void on_batch(int64_t batch_size, int64_t wire_bytes);
+  void on_request(double e2e_latency_s, bool ok);
+  ServeStats snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  ServeStats stats_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_done_;
+};
+
+}  // namespace mtlsplit::serve

@@ -244,6 +244,43 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
   });
 }
 
+Tensor concat_batch(const std::vector<Tensor>& parts) {
+  check_arg(!parts.empty(), "concat_batch: no parts");
+  const Shape& first = parts[0].shape();
+  check_arg(parts[0].dim() >= 1, "concat_batch: parts must have a batch dim");
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    check_arg(p.dim() == parts[0].dim(), "concat_batch: rank mismatch");
+    for (int64_t d = 1; d < p.dim(); ++d)
+      check_arg(p.size(d) == parts[0].size(d),
+                msg_cat("concat_batch: trailing shape mismatch ",
+                        shape_str(p.shape()), " vs ", shape_str(first)));
+    total += p.size(0);
+  }
+  Shape out_shape = first;
+  out_shape[0] = total;
+  Tensor out(out_shape);
+  float* po = out.data();
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), po);
+    po += p.numel();
+  }
+  return out;
+}
+
+Tensor slice_batch(const Tensor& t, int64_t begin, int64_t end) {
+  check_arg(t.dim() >= 1, "slice_batch: tensor must have a batch dim");
+  check_arg(begin >= 0 && begin < end && end <= t.size(0),
+            msg_cat("slice_batch: bad range [", begin, ", ", end, ") for ",
+                    shape_str(t.shape())));
+  const int64_t sample = t.numel() / std::max<int64_t>(t.size(0), 1);
+  Shape out_shape = t.shape();
+  out_shape[0] = end - begin;
+  Tensor out(out_shape);
+  std::copy(t.data() + begin * sample, t.data() + end * sample, out.data());
+  return out;
+}
+
 Tensor softmax_rows(const Tensor& a) {
   check_arg(a.dim() == 2, "softmax_rows: tensor must be 2-d");
   const int64_t n = a.size(0), c = a.size(1);

@@ -67,6 +67,16 @@ Tensor transpose2d(const Tensor& a);
 /// For a [N, C] matrix and a [C] bias, adds the bias to every row in place.
 void add_row_bias_(Tensor& a, const Tensor& bias);
 
+// ------------------------------------------------------------- batch assembly
+/// Concatenates tensors along dim 0; every part must share the trailing
+/// dims. Used by the serving layer to coalesce per-request samples into
+/// one server batch.
+Tensor concat_batch(const std::vector<Tensor>& parts);
+
+/// Samples [begin, end) of dim 0 as a new tensor (rows are contiguous, so
+/// this is one memcpy). The inverse of concat_batch for scatter-back.
+Tensor slice_batch(const Tensor& t, int64_t begin, int64_t end);
+
 // -------------------------------------------------------------------- softmax
 /// Row-wise numerically stable softmax of a [N, C] tensor.
 Tensor softmax_rows(const Tensor& a);

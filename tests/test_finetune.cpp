@@ -1,0 +1,112 @@
+// Fine-tuning (paper §3.3, Eqs. 5-7): two-rate head/backbone adaptation.
+#include <gtest/gtest.h>
+
+#include "data/shapes3d.hpp"
+#include "mtl/finetune.hpp"
+#include "mtl/model_factory.hpp"
+
+namespace mtlsplit {
+namespace {
+
+struct FinetuneRig {
+  data::MultiTaskDataset ds;
+  std::unique_ptr<core::MtlSplitModel> model;
+
+  FinetuneRig() {
+    data::Shapes3dConfig dc;
+    dc.count = 64;
+    dc.image_size = 12;
+    ds = data::make_shapes3d_t1t2(dc);
+    Rng rng(5);
+    core::ModelFactoryConfig mc;
+    mc.backbone = models::BackboneKind::kMobileNetV3;
+    mc.image_shape = ds.image_shape();
+    mc.head_hidden_dim = 16;
+    model = core::make_mtl_model(mc, {ds.task(0), ds.task(1)}, rng);
+  }
+
+  std::vector<Tensor> snapshot(std::vector<nn::Parameter*> params) const {
+    std::vector<Tensor> out;
+    for (nn::Parameter* p : params) out.push_back(p->value);
+    return out;
+  }
+};
+
+bool all_equal(const std::vector<Tensor>& snap,
+               std::vector<nn::Parameter*> params) {
+  for (size_t i = 0; i < snap.size(); ++i)
+    if (!snap[i].equals(params[i]->value)) return false;
+  return true;
+}
+
+bool any_changed(const std::vector<Tensor>& snap,
+                 std::vector<nn::Parameter*> params) {
+  for (size_t i = 0; i < snap.size(); ++i)
+    if (!snap[i].equals(params[i]->value)) return true;
+  return false;
+}
+
+TEST(Finetune, EtaZeroFreezesTheBackboneBitwise) {
+  FinetuneRig rig;
+  const auto backbone_before = rig.snapshot(rig.model->backbone_params());
+  const auto heads_before = rig.snapshot(rig.model->all_head_params());
+
+  core::FinetuneConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.eta = 0.0f;  // Eq. 6 with a frozen psi
+  const core::TrainHistory hist = core::finetune_model(*rig.model, rig.ds, cfg);
+
+  EXPECT_TRUE(all_equal(backbone_before, rig.model->backbone_params()))
+      << "frozen backbone weights moved";
+  EXPECT_TRUE(any_changed(heads_before, rig.model->all_head_params()))
+      << "heads did not learn at alpha";
+  ASSERT_EQ(hist.epoch_loss.size(), 1u);
+  ASSERT_EQ(hist.task_loss[0].size(), 2u);
+  EXPECT_TRUE(std::isfinite(hist.epoch_loss[0]));
+}
+
+TEST(Finetune, PositiveEtaUpdatesTheBackboneConservatively) {
+  FinetuneRig rig;
+  const auto backbone_before = rig.snapshot(rig.model->backbone_params());
+  core::FinetuneConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.eta = 1e-5f;
+  core::finetune_model(*rig.model, rig.ds, cfg);
+  EXPECT_TRUE(any_changed(backbone_before, rig.model->backbone_params()))
+      << "eta > 0 must let psi move";
+}
+
+TEST(Finetune, LossDecreasesOverEpochs) {
+  FinetuneRig rig;
+  core::FinetuneConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 16;
+  const core::TrainHistory hist = core::finetune_model(*rig.model, rig.ds, cfg);
+  ASSERT_EQ(hist.epoch_loss.size(), 3u);
+  EXPECT_LT(hist.epoch_loss.back(), hist.epoch_loss.front());
+}
+
+TEST(Finetune, ValidatesConfig) {
+  FinetuneRig rig;
+  core::FinetuneConfig bad;
+  bad.eta = 1.0f;
+  bad.alpha = 1e-3f;  // eta > alpha contradicts Eq. 6's eta << alpha
+  EXPECT_THROW(core::finetune_model(*rig.model, rig.ds, bad),
+               std::invalid_argument);
+  core::FinetuneConfig zero_epochs;
+  zero_epochs.epochs = 0;
+  EXPECT_THROW(core::finetune_model(*rig.model, rig.ds, zero_epochs),
+               std::invalid_argument);
+}
+
+TEST(Finetune, TaskCountMismatchRejected) {
+  FinetuneRig rig;
+  const auto single = rig.ds.select_tasks({0});
+  EXPECT_THROW(core::finetune_model(*rig.model, single, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

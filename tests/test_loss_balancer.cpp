@@ -1,0 +1,75 @@
+// LossBalancer: Eq. 4's plain sum vs Kendall-style uncertainty weighting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mtl/loss_balancer.hpp"
+
+namespace mtlsplit {
+namespace {
+
+TEST(LossBalancer, UniformIsThePlainSum) {
+  core::LossBalancer lb(core::LossWeighting::kUniform, 3);
+  EXPECT_FLOAT_EQ(lb.weight(0), 1.0f);
+  EXPECT_FLOAT_EQ(lb.weight(2), 1.0f);
+  EXPECT_FLOAT_EQ(lb.total_loss({0.5f, 1.5f, 2.0f}), 4.0f);
+  // update is a no-op: weights stay 1 whatever the losses do.
+  for (int i = 0; i < 10; ++i) lb.update({10.0f, 0.1f, 5.0f});
+  EXPECT_FLOAT_EQ(lb.weight(0), 1.0f);
+  EXPECT_TRUE(lb.log_vars().empty() ||
+              lb.log_vars() == std::vector<float>(3, 0.0f));
+}
+
+TEST(LossBalancer, UncertaintyWeightsAreExpNegS) {
+  core::LossBalancer lb(core::LossWeighting::kUncertainty, 2);
+  // Fresh balancer: s_j = 0 -> weight 1, total = sum + sum(s) = sum.
+  EXPECT_FLOAT_EQ(lb.weight(0), 1.0f);
+  EXPECT_FLOAT_EQ(lb.total_loss({1.0f, 2.0f}), 3.0f);
+  lb.update({1.0f, 2.0f});
+  for (size_t j = 0; j < 2; ++j)
+    EXPECT_FLOAT_EQ(lb.weight(j), std::exp(-lb.log_vars()[j]));
+}
+
+TEST(LossBalancer, UncertaintyDownWeightsTheNoisyTask) {
+  // Task 0 keeps a big loss, task 1 a small one: after enough updates the
+  // learned log-variances must order s_0 > s_1, i.e. weight_0 < weight_1.
+  core::LossBalancer lb(core::LossWeighting::kUncertainty, 2, 0.05f);
+  for (int i = 0; i < 200; ++i) lb.update({4.0f, 0.25f});
+  EXPECT_GT(lb.log_vars()[0], lb.log_vars()[1]);
+  EXPECT_LT(lb.weight(0), lb.weight(1));
+}
+
+TEST(LossBalancer, UncertaintyConvergesToLogLossFixedPoint) {
+  // dL/ds_j = 1 - exp(-s_j) L_j vanishes at s_j = log L_j; gradient
+  // descent on a constant loss must settle there.
+  core::LossBalancer lb(core::LossWeighting::kUncertainty, 2, 0.1f);
+  const std::vector<float> losses = {2.0f, 0.5f};
+  for (int i = 0; i < 2000; ++i) lb.update(losses);
+  EXPECT_NEAR(lb.log_vars()[0], std::log(2.0f), 1e-3f);
+  EXPECT_NEAR(lb.log_vars()[1], std::log(0.5f), 1e-3f);
+  // At the fixed point every weighted loss is 1: exp(-log L) * L.
+  EXPECT_NEAR(lb.weight(0) * losses[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(lb.weight(1) * losses[1], 1.0f, 1e-3f);
+}
+
+TEST(LossBalancer, TotalLossIncludesTheRegulariser) {
+  core::LossBalancer lb(core::LossWeighting::kUncertainty, 1, 0.1f);
+  lb.update({4.0f});  // moves s_0 off zero
+  const float s = lb.log_vars()[0];
+  EXPECT_FLOAT_EQ(lb.total_loss({4.0f}), std::exp(-s) * 4.0f + s);
+}
+
+TEST(LossBalancer, ValidatesArguments) {
+  EXPECT_THROW(core::LossBalancer(core::LossWeighting::kUniform, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      core::LossBalancer(core::LossWeighting::kUncertainty, 2, 0.0f),
+      std::invalid_argument);
+  core::LossBalancer lb(core::LossWeighting::kUncertainty, 2);
+  EXPECT_THROW((void)lb.weight(2), std::out_of_range);
+  EXPECT_THROW((void)lb.total_loss({1.0f}), std::invalid_argument);
+  EXPECT_THROW(lb.update({1.0f, 2.0f, 3.0f}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit

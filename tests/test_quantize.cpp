@@ -1,0 +1,118 @@
+// Property tests for the int8 affine quantiser (sc/quantize) — until now
+// it was only exercised indirectly through the wire format tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/quantize.hpp"
+#include "tensor/rng.hpp"
+
+namespace mtlsplit {
+namespace {
+
+Tensor random_tensor(const Shape& shape, float lo, float hi, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(shape);
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+float max_abs_err(const Tensor& a, const Tensor& b) {
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  // |dequant(quant(x)) - x| <= scale/2: rounding to the nearest code loses
+  // at most half a step (plus float noise in the affine arithmetic).
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Tensor t = random_tensor({4, 37}, -2.5f, 4.0f, seed);
+    const sc::QuantizedTensor q = sc::quantize_int8(t);
+    const Tensor back = sc::dequantize_int8(q);
+    const float bound = q.scale * 0.5f * 1.001f + 1e-7f;
+    EXPECT_LE(max_abs_err(t, back), bound) << "seed " << seed;
+    EXPECT_LE(sc::quantization_error(t), bound) << "seed " << seed;
+  }
+}
+
+TEST(Quantize, ConstantTensorRoundTripsThroughCode127) {
+  for (float v : {0.0f, 1.0f, -3.25f, 0.125f, 1e-3f}) {
+    const Tensor t(Shape{3, 5}, v);
+    const sc::QuantizedTensor q = sc::quantize_int8(t);
+    const Tensor back = sc::dequantize_int8(q);
+    // The degenerate-range path maps the value onto code +-127 (0 for
+    // v == 0), so the reconstruction is exact up to one float rounding.
+    for (int64_t i = 0; i < back.numel(); ++i)
+      EXPECT_NEAR(back[i], v, std::abs(v) * 1e-6f) << "v = " << v;
+    EXPECT_EQ(q.zero_point, 0);
+    if (v != 0.0f)
+      EXPECT_EQ(std::abs(static_cast<int>(q.values[0])), 127);
+  }
+}
+
+TEST(Quantize, AllNegativeRangeUsesTheFullCodebook) {
+  const Tensor t = random_tensor({256}, -8.0f, -1.0f, 11);
+  const sc::QuantizedTensor q = sc::quantize_int8(t);
+  const Tensor back = sc::dequantize_int8(q);
+  EXPECT_LE(max_abs_err(t, back), q.scale * 0.5f * 1.001f);
+  // min and max of the tensor land on (nearly) the codebook extremes.
+  int8_t qmin = 127, qmax = -128;
+  for (int8_t v : q.values) {
+    qmin = std::min(qmin, v);
+    qmax = std::max(qmax, v);
+  }
+  EXPECT_LE(qmin, -127);
+  EXPECT_GE(qmax, 126);
+}
+
+TEST(Quantize, AllPositiveRangeRoundTrips) {
+  const Tensor t = random_tensor({64}, 10.0f, 14.0f, 12);
+  const sc::QuantizedTensor q = sc::quantize_int8(t);
+  EXPECT_LE(max_abs_err(t, sc::dequantize_int8(q)), q.scale * 0.5f * 1.001f);
+}
+
+TEST(Quantize, SingleElementTensor) {
+  const Tensor t = Tensor::from_values({-0.75f});
+  const sc::QuantizedTensor q = sc::quantize_int8(t);
+  ASSERT_EQ(q.values.size(), 1u);
+  const Tensor back = sc::dequantize_int8(q);
+  EXPECT_NEAR(back[0], -0.75f, 0.75f * 1e-6f);
+  EXPECT_EQ(q.payload_bytes(), 1);
+}
+
+TEST(Quantize, QuantizeDequantizeIsIdempotent) {
+  // quantize(dequantize(q)) must reproduce q exactly: the reconstructed
+  // tensor's min/max land back on the same affine grid.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    const Tensor t = random_tensor({8, 33}, -1.0f, 2.0f, seed);
+    const sc::QuantizedTensor q = sc::quantize_int8(t);
+    const sc::QuantizedTensor q2 =
+        sc::quantize_int8(sc::dequantize_int8(q));
+    EXPECT_EQ(q2.zero_point, q.zero_point) << "seed " << seed;
+    EXPECT_FLOAT_EQ(q2.scale, q.scale) << "seed " << seed;
+    ASSERT_EQ(q2.values.size(), q.values.size());
+    for (size_t i = 0; i < q.values.size(); ++i)
+      ASSERT_EQ(q2.values[i], q.values[i])
+          << "seed " << seed << " flat index " << i;
+  }
+}
+
+TEST(Quantize, ShapeIsPreservedAndEmptyRejected) {
+  const Tensor t = random_tensor({2, 3, 4}, -1.0f, 1.0f, 31);
+  const sc::QuantizedTensor q = sc::quantize_int8(t);
+  EXPECT_EQ(q.shape, t.shape());
+  EXPECT_EQ(sc::dequantize_int8(q).shape(), t.shape());
+  EXPECT_THROW((void)sc::quantize_int8(Tensor()), std::invalid_argument);
+}
+
+TEST(Quantize, DequantizeValidatesPayloadSize) {
+  sc::QuantizedTensor q;
+  q.shape = {2, 2};
+  q.values = {1, 2, 3};  // one short
+  EXPECT_THROW((void)sc::dequantize_int8(q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtlsplit
