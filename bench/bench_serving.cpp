@@ -1,13 +1,24 @@
 // Multi-client serving bench: open-loop Poisson load over ScServer.
 //
-// N client threads submit single-sample requests at exponentially
-// distributed inter-arrival times (open loop: the schedule never waits for
-// completions, so queueing delay shows up in the latency percentiles
-// instead of silently throttling the offered load). The sweep crosses
-// offered QPS with the batching policy — no batching vs dynamic batching —
-// and emits BENCH_SERVING.json with p50/p95/p99 end-to-end latency, the
-// batch-size histogram, throughput and wire traffic per cell, plus a
-// bitwise-identity check of served vs sequential outputs.
+// Three parts, all emitted into BENCH_SERVING.json:
+//
+//  1. Load sweep (as in PR 2): N client threads submit single-sample
+//     requests at exponentially distributed inter-arrival times (open
+//     loop: the schedule never waits for completions, so queueing delay
+//     shows up in the latency percentiles instead of silently throttling
+//     the offered load), crossed with the batching policy.
+//  2. Overload scenario: saturation throughput is probed closed-loop,
+//     then 4x that rate is offered against Reject admission. Because the
+//     queue is bounded and submit() never waits for queue space, the p99
+//     of *admitted* requests must stay within ~2x of the unsaturated p99,
+//     and the worst-case submit() call time stays at millisecond scale
+//     (lock + settle, never a capacity wait).
+//  3. Fairness scenario: one flooding client (closed loop, deep window)
+//     against three modest open-loop clients on one DRR queue; the
+//     flooder is capped to its deficit-round-robin share while the other
+//     clients complete their full offered load.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <random>
 #include <thread>
@@ -28,6 +39,31 @@ struct CellResult {
   double offered_qps = 0.0;
   serve::BatchingPolicy policy;
   serve::ServeStats stats;
+};
+
+struct OverloadResult {
+  double saturation_qps = 0.0;
+  double unsat_qps = 0.0;
+  double unsat_p99_ms = 0.0;
+  double overload_qps = 0.0;
+  double overload_p99_ms = 0.0;
+  double max_submit_ms = 0.0;  // worst submit() stall under overload
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+};
+
+struct FairnessClient {
+  uint64_t client_id = 0;
+  bool flooder = false;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed_or_rejected = 0;
+};
+
+struct FairnessResult {
+  std::vector<FairnessClient> clients;
+  double duration_s = 0.0;
+  double victim_offered_qps = 0.0;  // per non-flooding client
 };
 
 std::unique_ptr<core::MtlSplitModel> make_replica(uint64_t seed) {
@@ -69,13 +105,194 @@ CellResult run_cell(std::vector<core::MtlSplitModel*> replicas,
             std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(gap(gen)));
         std::this_thread::sleep_until(next_arrival);
-        futures.push_back(server.submit(request_input(7000 + c * 1000 + k)));
+        futures.push_back(server.submit(request_input(7000 + c * 1000 + k),
+                                        {.client_id = c}));
       }
       for (auto& f : futures) (void)f.get();
     });
   for (auto& t : clients) t.join();
   server.shutdown();
   return {offered_qps, policy, server.stats()};
+}
+
+/// Closed-loop saturation probe: clients re-submit the moment a future
+/// resolves, so the measured throughput is the service capacity.
+double probe_saturation_qps(std::vector<core::MtlSplitModel*> replicas) {
+  sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  serve::ScServer server(std::move(replicas), link, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 8,
+                                       .max_wait_us = 1000}});
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (size_t k = 0; k < 40; ++k)
+        (void)server.submit(request_input(40000 + c * 100 + k),
+                            {.client_id = c})
+            .get();
+    });
+  for (auto& t : clients) t.join();
+  server.shutdown();
+  return server.stats().throughput_rps();
+}
+
+/// One open-loop run with Reject admission; records admitted-request
+/// latency percentiles and the worst submit() stall.
+void run_reject_cell(std::vector<core::MtlSplitModel*> replicas,
+                     double offered_qps, double* out_qps, double* out_p99_ms,
+                     double* max_submit_ms, int64_t* admitted,
+                     int64_t* rejected) {
+  sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  serve::ScServer server(
+      std::move(replicas), link, sc::jetson_nano(), sc::rtx3090_server(),
+      {.batching = {.max_batch_size = 8, .max_wait_us = 1000},
+       .admission = {.policy = serve::AdmissionPolicy::kReject,
+                     .capacity = 8}});
+  std::atomic<int64_t> worst_submit_ns{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      std::mt19937_64 gen(0xFACADE + c);
+      std::exponential_distribution<double> gap(offered_qps /
+                                                static_cast<double>(kClients));
+      std::vector<std::future<sc::InferenceResult>> futures;
+      auto next_arrival = std::chrono::steady_clock::now();
+      for (size_t k = 0; k < kPerClient * 2; ++k) {
+        next_arrival += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap(gen)));
+        std::this_thread::sleep_until(next_arrival);
+        const auto t0 = std::chrono::steady_clock::now();
+        futures.push_back(server.submit(request_input(60000 + c * 1000 + k),
+                                        {.client_id = c}));
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        int64_t seen = worst_submit_ns.load();
+        while (ns > seen && !worst_submit_ns.compare_exchange_weak(seen, ns)) {
+        }
+      }
+      for (auto& f : futures) {
+        try {
+          (void)f.get();
+        } catch (const serve::RejectedError&) {
+        }
+      }
+    });
+  for (auto& t : clients) t.join();
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  *out_qps = offered_qps;
+  *out_p99_ms = 1e3 * s.percentile(99);
+  *max_submit_ms = 1e-6 * static_cast<double>(worst_submit_ns.load());
+  *admitted = s.completed + s.failed;
+  *rejected = s.rejected;
+}
+
+OverloadResult run_overload(core::MtlSplitModel* m0,
+                            core::MtlSplitModel* m1) {
+  OverloadResult out;
+  out.saturation_qps = probe_saturation_qps({m0, m1});
+  double ignore;
+  int64_t adm, rej;
+  // Unsaturated baseline at half saturation, same Reject configuration.
+  run_reject_cell({m0, m1}, 0.5 * out.saturation_qps, &out.unsat_qps,
+                  &out.unsat_p99_ms, &ignore, &adm, &rej);
+  // 4x saturation: the bounded queue sheds load at the door; admitted
+  // requests keep a bounded queueing delay.
+  run_reject_cell({m0, m1}, 4.0 * out.saturation_qps, &out.overload_qps,
+                  &out.overload_p99_ms, &out.max_submit_ms, &out.admitted,
+                  &out.rejected);
+  return out;
+}
+
+FairnessResult run_fairness(core::MtlSplitModel* m0) {
+  FairnessResult out;
+  constexpr size_t kVictims = 3;
+  constexpr double kVictimQps = 40.0;  // per victim client
+  constexpr double kDuration = 2.0;    // seconds of offered load
+  constexpr size_t kFloodWindow = 32;  // flooder's in-flight depth
+  out.victim_offered_qps = kVictimQps;
+  out.duration_s = kDuration;
+  out.clients.resize(kVictims + 1);
+
+  sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  serve::ScServer server(
+      {m0}, link, sc::jetson_nano(), sc::rtx3090_server(),
+      {.batching = {.max_batch_size = 8, .max_wait_us = 1000},
+       .admission = {.policy = serve::AdmissionPolicy::kShedOldest,
+                     .capacity = 64}});
+
+  const auto t_end = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(kDuration));
+  std::vector<std::thread> threads;
+  // Flooder: client 0, closed loop with a deep window — offered load far
+  // beyond capacity, ~10x the victims' combined rate.
+  threads.emplace_back([&] {
+    FairnessClient& me = out.clients[0];
+    me.client_id = 0;
+    me.flooder = true;
+    std::vector<std::future<sc::InferenceResult>> window;
+    uint64_t k = 0;
+    while (std::chrono::steady_clock::now() < t_end) {
+      while (window.size() < kFloodWindow &&
+             std::chrono::steady_clock::now() < t_end) {
+        window.push_back(server.submit(request_input(80000 + k++),
+                                       {.client_id = 0}));
+        ++me.submitted;
+      }
+      if (window.empty()) break;
+      try {
+        (void)window.front().get();
+        ++me.completed;
+      } catch (const serve::RejectedError&) {
+        ++me.shed_or_rejected;
+      }
+      window.erase(window.begin());
+    }
+    for (auto& f : window) {
+      try {
+        (void)f.get();
+        ++me.completed;
+      } catch (const serve::RejectedError&) {
+        ++me.shed_or_rejected;
+      }
+    }
+  });
+  // Victims: open loop at kVictimQps each.
+  for (size_t v = 1; v <= kVictims; ++v)
+    threads.emplace_back([&, v] {
+      FairnessClient& me = out.clients[v];
+      me.client_id = v;
+      std::mt19937_64 gen(0xFA1 + v);
+      std::exponential_distribution<double> gap(kVictimQps);
+      std::vector<std::future<sc::InferenceResult>> futures;
+      auto next_arrival = std::chrono::steady_clock::now();
+      uint64_t k = 0;
+      while (true) {
+        next_arrival += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap(gen)));
+        if (next_arrival >= t_end) break;
+        std::this_thread::sleep_until(next_arrival);
+        futures.push_back(server.submit(
+            request_input(90000 + v * 4000 + k++), {.client_id = v}));
+        ++me.submitted;
+      }
+      for (auto& f : futures) {
+        try {
+          (void)f.get();
+          ++me.completed;
+        } catch (const serve::RejectedError&) {
+          ++me.shed_or_rejected;
+        }
+      }
+    });
+  for (auto& t : threads) t.join();
+  server.shutdown();
+  return out;
 }
 
 /// Served outputs must match per-request sequential infer() bit for bit,
@@ -105,7 +322,9 @@ bool bitwise_identity_check(core::MtlSplitModel& served_model,
   return true;
 }
 
-void write_json(const std::vector<CellResult>& cells, bool bitwise_ok) {
+void write_json(const std::vector<CellResult>& cells,
+                const OverloadResult& ov, const FairnessResult& fair,
+                bool bitwise_ok) {
   FILE* f = std::fopen("BENCH_SERVING.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_SERVING.json\n");
@@ -148,7 +367,45 @@ void write_json(const std::vector<CellResult>& cells, bool bitwise_ok) {
     std::fprintf(f, "]\n");
     std::fprintf(f, "    }%s\n", i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f, "    \"admission\": \"reject\",\n");
+  std::fprintf(f, "    \"saturation_qps\": %.1f,\n", ov.saturation_qps);
+  std::fprintf(f, "    \"unsaturated_qps\": %.1f,\n", ov.unsat_qps);
+  std::fprintf(f, "    \"unsaturated_p99_ms\": %.3f,\n", ov.unsat_p99_ms);
+  std::fprintf(f, "    \"overload_qps\": %.1f,\n", ov.overload_qps);
+  std::fprintf(f, "    \"overload_p99_ms\": %.3f,\n", ov.overload_p99_ms);
+  std::fprintf(f, "    \"p99_ratio\": %.3f,\n",
+               ov.unsat_p99_ms > 0.0 ? ov.overload_p99_ms / ov.unsat_p99_ms
+                                     : 0.0);
+  std::fprintf(f, "    \"max_submit_ms\": %.4f,\n", ov.max_submit_ms);
+  std::fprintf(f, "    \"admitted\": %lld,\n",
+               static_cast<long long>(ov.admitted));
+  std::fprintf(f, "    \"rejected\": %lld\n",
+               static_cast<long long>(ov.rejected));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fairness\": {\n");
+  std::fprintf(f, "    \"admission\": \"shed_oldest\",\n");
+  std::fprintf(f, "    \"duration_s\": %.2f,\n", fair.duration_s);
+  std::fprintf(f, "    \"victim_offered_qps\": %.1f,\n",
+               fair.victim_offered_qps);
+  std::fprintf(f, "    \"clients\": [\n");
+  for (size_t i = 0; i < fair.clients.size(); ++i) {
+    const FairnessClient& c = fair.clients[i];
+    std::fprintf(f,
+                 "      {\"client\": %llu, \"flooder\": %s, "
+                 "\"submitted\": %lld, \"completed\": %lld, "
+                 "\"shed_or_rejected\": %lld}%s\n",
+                 static_cast<unsigned long long>(c.client_id),
+                 c.flooder ? "true" : "false",
+                 static_cast<long long>(c.submitted),
+                 static_cast<long long>(c.completed),
+                 static_cast<long long>(c.shed_or_rejected),
+                 i + 1 < fair.clients.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_SERVING.json\n");
 }
@@ -195,10 +452,39 @@ int main() {
   }
   for (int i = 0; i < 90; ++i) std::putchar('-');
   std::putchar('\n');
+
+  std::printf("\nOverload (Reject admission, capacity 8):\n");
+  const OverloadResult ov = run_overload(m0.get(), m1.get());
+  std::printf("  saturation       %8.1f rps (closed-loop probe)\n",
+              ov.saturation_qps);
+  std::printf("  0.5x offered     p99 %8.3f ms\n", ov.unsat_p99_ms);
+  std::printf("  4.0x offered     p99 %8.3f ms (admitted only), "
+              "%lld admitted / %lld rejected\n",
+              ov.overload_p99_ms, static_cast<long long>(ov.admitted),
+              static_cast<long long>(ov.rejected));
+  std::printf("  p99 ratio        %8.2fx (target: <= ~2x)\n",
+              ov.unsat_p99_ms > 0.0 ? ov.overload_p99_ms / ov.unsat_p99_ms
+                                    : 0.0);
+  std::printf("  worst submit()   %8.4f ms (admission never blocks intake)\n",
+              ov.max_submit_ms);
+
+  std::printf("\nFairness (DRR, 1 flooder @ closed loop vs 3 x %.0f rps):\n",
+              40.0);
+  const FairnessResult fair = run_fairness(m0.get());
+  for (const FairnessClient& c : fair.clients)
+    std::printf("  client %llu %-8s submitted %5lld  completed %5lld  "
+                "shed %5lld\n",
+                static_cast<unsigned long long>(c.client_id),
+                c.flooder ? "(flood)" : "",
+                static_cast<long long>(c.submitted),
+                static_cast<long long>(c.completed),
+                static_cast<long long>(c.shed_or_rejected));
+
   std::printf(
-      "\nShape check: dynamic batching coalesces under load (mean batch > 1\n"
-      "at the higher offered rate), the tail percentiles reflect queueing,\n"
+      "\nShape check: dynamic batching coalesces under load, Reject keeps\n"
+      "the admitted-request tail bounded at 4x saturation, the DRR queue\n"
+      "caps the flooder at its share while the victims complete theirs,\n"
       "and every served logit is bit-identical to sequential infer().\n");
-  write_json(cells, bitwise_ok);
+  write_json(cells, ov, fair, bitwise_ok);
   return bitwise_ok ? 0 : 1;
 }

@@ -41,6 +41,20 @@ std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
   return message;
 }
 
+std::vector<uint8_t> FaultInjectChannel::transmit(
+    std::vector<uint8_t> message) {
+  // Base transmit keeps the latency/byte accounting (and any configured
+  // probabilistic corruption) identical to a clean session.
+  std::vector<uint8_t> received = Channel::transmit(std::move(message));
+  ++seen_;
+  if (fault_.every_k > 0 && seen_ % fault_.every_k == 0) {
+    ++injected_;
+    if (fault_.mode == FaultSpec::Mode::kDrop) return {};
+    if (!received.empty()) received[received.size() / 2] ^= 0x01;
+  }
+  return received;
+}
+
 void Channel::reset_stats() {
   total_time_ = 0.0;
   total_bytes_ = 0;

@@ -33,7 +33,13 @@ class Channel {
 
   /// "Transmits" a message: accounts time into total_time() and applies
   /// byte corruption per corrupt_prob. Returns the received bytes.
-  std::vector<uint8_t> transmit(std::vector<uint8_t> message);
+  /// Virtual so fault-injection wrappers (FaultInjectChannel) can
+  /// intercept the wire deterministically.
+  virtual std::vector<uint8_t> transmit(std::vector<uint8_t> message);
+
+  virtual ~Channel() = default;
+  Channel(const Channel&) = default;
+  Channel& operator=(const Channel&) = default;
 
   /// Independent session over the same physical link: identical latency
   /// model, but its own corruption RNG stream (derived from the base seed
@@ -56,6 +62,39 @@ class Channel {
   double total_time_ = 0.0;
   int64_t total_bytes_ = 0;
   int64_t messages_ = 0;
+};
+
+/// Deterministic fault schedule for FaultInjectChannel.
+struct FaultSpec {
+  /// Message numbers k, 2k, 3k, ... (1-based) are faulted; 0 disables.
+  int64_t every_k = 0;
+  enum class Mode {
+    kCorrupt,  ///< flip one bit -> CRC failure on receipt
+    kDrop      ///< deliver nothing -> truncated-message failure on receipt
+  } mode = Mode::kCorrupt;
+};
+
+/// Channel wrapper that corrupts or drops every k-th wire message on a
+/// deterministic schedule — the fault-injection companion to the
+/// probabilistic corrupt_prob. Used through a Channel& (transmit is
+/// virtual); note that Channel::fork slices back to a clean base-class
+/// session, so fault-injecting servers hand ScServer explicit sessions
+/// instead of letting it fork.
+class FaultInjectChannel : public Channel {
+ public:
+  FaultInjectChannel(const ChannelConfig& cfg, FaultSpec fault)
+      : Channel(cfg), fault_(fault) {
+    check_arg(fault.every_k >= 0, "FaultInjectChannel: negative period");
+  }
+
+  std::vector<uint8_t> transmit(std::vector<uint8_t> message) override;
+
+  int64_t faults_injected() const { return injected_; }
+
+ private:
+  FaultSpec fault_;
+  int64_t seen_ = 0;
+  int64_t injected_ = 0;
 };
 
 }  // namespace mtlsplit::sc

@@ -193,6 +193,11 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
 }
 
 StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs) {
+  return infer_stream(inputs, StreamItemFn());
+}
+
+StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
+                                        const StreamItemFn& on_item) {
   StreamResult out;
   const size_t n = inputs.size();
   out.results.resize(n);
@@ -266,6 +271,7 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs) {
           server_.compute_time(heads_flops(*model_, zb_rx[i].shape()));
       r.latency.measured_wall_s = seconds_since(t0);
       zb_rx[i] = Tensor();
+      if (on_item) on_item(i, r);
     }
   } catch (...) {
     record_error();

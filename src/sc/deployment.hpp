@@ -15,6 +15,7 @@
 #pragma once
 
 #include <exception>
+#include <functional>
 
 #include "mtl/mtl_model.hpp"
 #include "sc/channel.hpp"
@@ -123,6 +124,16 @@ class ScDeployment {
   /// Stage threads share the runtime pool for their tensor kernels.
   /// Rethrows the first stage error (e.g. a CRC failure) after draining.
   StreamResult infer_stream(const std::vector<Tensor>& inputs);
+
+  /// Called from the server stage as item @p index completes, before the
+  /// stream returns — this is how ScServer routes per-chunk results back
+  /// through streaming request futures while later items are still in
+  /// flight. The callback may move from @p item (results[index] then
+  /// keeps only the residue). Items after a stage failure are never
+  /// emitted; the error is rethrown once the pipeline drains.
+  using StreamItemFn = std::function<void(size_t index, InferenceResult& item)>;
+  StreamResult infer_stream(const std::vector<Tensor>& inputs,
+                            const StreamItemFn& on_item);
 
   /// Edge-side working-set estimate (backbone params + activations).
   double edge_memory_bytes(const Shape& image_shape) const;

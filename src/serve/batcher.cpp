@@ -14,10 +14,15 @@ bool DynamicBatcher::next_batch(std::vector<Request>& out) {
   out.clear();
   Request first;
   if (!queue_->pop(first)) return false;
+  const bool jump = policy_.high_priority_jumps &&
+                    first.priority == Priority::kHigh;
   out.push_back(std::move(first));
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(policy_.max_wait_us);
+  // A high-priority leader dispatches with what is already queued (a
+  // deadline in the past makes pop_until a try-pop).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(jump ? 0 : policy_.max_wait_us);
   while (static_cast<int64_t>(out.size()) < policy_.max_batch_size) {
     Request r;
     if (!queue_->pop_until(r, deadline)) break;

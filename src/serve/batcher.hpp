@@ -7,6 +7,12 @@
 // max_wait_us of it, stopping early at max_batch_size. max_wait_us = 0
 // degrades to "take whatever is already queued" (no added latency);
 // max_batch_size = 1 disables batching entirely.
+//
+// Priority interacts with coalescing in two ways: the queue pops
+// high-priority requests first (so they always lead the next batch), and
+// when high_priority_jumps is set a batch led by a kHigh request skips
+// the coalescing wait entirely — it dispatches with whatever is already
+// queued instead of idling out max_wait_us.
 #pragma once
 
 #include <vector>
@@ -18,6 +24,8 @@ namespace mtlsplit::serve {
 struct BatchingPolicy {
   int64_t max_batch_size = 8;  ///< cap on requests coalesced per batch
   int64_t max_wait_us = 2000;  ///< how long the first request may wait
+  /// A batch led by a Priority::kHigh request skips the wait window.
+  bool high_priority_jumps = true;
 };
 
 class DynamicBatcher {

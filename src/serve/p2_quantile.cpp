@@ -1,0 +1,90 @@
+#include "serve/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::serve {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  check_arg(q > 0.0 && q < 1.0, "P2Quantile: quantile must be in (0, 1)");
+  inc_[0] = 0.0;
+  inc_[1] = q / 2.0;
+  inc_[2] = q;
+  inc_[3] = (1.0 + q) / 2.0;
+  inc_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    // Bootstrap: keep the first five observations sorted in h_.
+    int64_t i = n_++;
+    while (i > 0 && h_[i - 1] > x) {
+      h_[i] = h_[i - 1];
+      --i;
+    }
+    h_[i] = x;
+    if (n_ == 5) {
+      for (int k = 0; k < 5; ++k) {
+        pos_[k] = static_cast<double>(k + 1);
+        des_[k] = 1.0 + 4.0 * inc_[k];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell k with h_[k] <= x < h_[k+1], extending the extremes.
+  int k;
+  if (x < h_[0]) {
+    h_[0] = x;
+    k = 0;
+  } else if (x >= h_[4]) {
+    h_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= h_[k + 1]) ++k;
+  }
+  ++n_;
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) des_[i] += inc_[i];
+
+  // Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = des_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the marker's new height.
+      const double hp =
+          h_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (h_[i + 1] - h_[i]) /
+                           (pos_[i + 1] - pos_[i]) +
+                       (pos_[i + 1] - pos_[i] - s) * (h_[i] - h_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (h_[i - 1] < hp && hp < h_[i + 1]) {
+        h_[i] = hp;
+      } else {
+        // Parabola left the bracket: fall back to linear interpolation
+        // toward the neighbour in the direction of travel.
+        const int j = i + static_cast<int>(s);
+        h_[i] += s * (h_[j] - h_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact nearest-rank on the sorted bootstrap buffer.
+    const auto rank = static_cast<int64_t>(
+        std::ceil(q_ * static_cast<double>(n_)));
+    return h_[std::min(n_ - 1, std::max<int64_t>(rank - 1, 0))];
+  }
+  return h_[2];
+}
+
+}  // namespace mtlsplit::serve

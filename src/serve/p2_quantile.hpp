@@ -1,0 +1,39 @@
+// P² (piecewise-parabolic) streaming quantile estimation, Jain & Chlamtac
+// 1985. A long-lived server cannot keep one latency sample per request —
+// ServeStats used to grow without bound — so each tracked percentile is
+// maintained by five markers whose heights approximate the quantile and
+// whose positions are nudged parabolically as observations stream in.
+// Memory is constant (five doubles of state per tracked quantile), every
+// add() is O(1), and for fewer than five observations the estimate is the
+// exact order statistic.
+#pragma once
+
+#include <cstdint>
+
+namespace mtlsplit::serve {
+
+class P2Quantile {
+ public:
+  /// @p q is the tracked quantile in (0, 1), e.g. 0.99 for p99.
+  explicit P2Quantile(double q = 0.5);
+
+  /// Folds one observation into the estimate. O(1), no allocation.
+  void add(double x);
+
+  /// Current estimate of the q-quantile; exact while count() < 5, the P²
+  /// middle-marker height afterwards. 0 when no observations were added.
+  double value() const;
+
+  int64_t count() const { return n_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  int64_t n_ = 0;      // observations seen
+  double h_[5] = {};   // marker heights (h_[0..n_) sorted while n_ < 5)
+  double pos_[5] = {}; // actual marker positions, 1-based
+  double des_[5] = {}; // desired marker positions
+  double inc_[5] = {}; // desired-position increments per observation
+};
+
+}  // namespace mtlsplit::serve

@@ -1,28 +1,151 @@
 #include "serve/request_queue.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <limits>
 
 namespace mtlsplit::serve {
 
-std::future<sc::InferenceResult> RequestQueue::submit(Tensor x) {
+RequestQueue::RequestQueue(AdmissionConfig cfg) : cfg_(cfg) {
+  check_arg(cfg_.drr_quantum >= 1,
+            "RequestQueue: drr_quantum must be >= 1");
+}
+
+void RequestQueue::settle_rejected(Request& r, bool shed) {
+  const auto err = std::make_exception_ptr(RejectedError(
+      shed ? "RequestQueue: request shed under ShedOldest admission"
+           : "RequestQueue: request rejected, queue at capacity",
+      shed));
+  if (r.streaming) {
+    for (auto& p : r.chunk_promises) p.set_exception(err);
+  } else {
+    r.promise.set_exception(err);
+  }
+}
+
+bool RequestQueue::full_for(size_t cls) const {
+  if (cfg_.capacity != 0 && total_ >= cfg_.capacity) return true;
+  return cfg_.class_capacity[cls] != 0 &&
+         classes_[cls].depth >= cfg_.class_capacity[cls];
+}
+
+void RequestQueue::erase_lane(ClassState& cs,
+                              std::list<ClientLane>::iterator it) {
+  cs.index.erase(it->client);
+  if (cs.cursor == it) {
+    cs.cursor = cs.active.erase(it);
+    cs.visited = false;
+  } else {
+    cs.active.erase(it);
+  }
+}
+
+void RequestQueue::shed_one(size_t cls) {
+  // Victim: the oldest (smallest-id) queued request of the class — each
+  // lane is FIFO, so only lane heads are candidates.
+  ClassState& cs = classes_[cls];
+  auto victim = cs.active.end();
+  for (auto it = cs.active.begin(); it != cs.active.end(); ++it)
+    if (victim == cs.active.end() || it->q.front().id < victim->q.front().id)
+      victim = it;
+  check_arg(victim != cs.active.end(), "RequestQueue: shed from empty class");
+  Request r = std::move(victim->q.front());
+  victim->q.pop_front();
+  --cs.depth;
+  --total_;
+  if (victim->q.empty()) erase_lane(cs, victim);
+  ++shed_;
+  settle_rejected(r, /*shed=*/true);
+}
+
+void RequestQueue::enqueue_or_reject(Request&& r) {
+  const size_t cls = static_cast<size_t>(r.priority);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_) throw std::runtime_error("RequestQueue: submit after close");
+    switch (cfg_.policy) {
+      case AdmissionPolicy::kBlock:
+        space_cv_.wait(lk, [&] { return closed_ || !full_for(cls); });
+        if (closed_)
+          throw std::runtime_error("RequestQueue: submit after close");
+        break;
+      case AdmissionPolicy::kReject:
+        if (full_for(cls)) {
+          ++rejected_;
+          lk.unlock();
+          settle_rejected(r, /*shed=*/false);
+          return;
+        }
+        break;
+      case AdmissionPolicy::kShedOldest:
+        // A binding class cap can only be relieved from that class; the
+        // total cap is relieved from the lowest-priority backlogged class
+        // *at or below the newcomer's priority* — shedding an admitted
+        // higher-priority request for a lower-priority newcomer would
+        // invert the strict-priority contract. If the entire backlog
+        // outranks the newcomer, the newcomer itself is rejected.
+        while (cfg_.class_capacity[cls] != 0 &&
+               classes_[cls].depth >= cfg_.class_capacity[cls])
+          shed_one(cls);
+        while (cfg_.capacity != 0 && total_ >= cfg_.capacity) {
+          size_t victim_cls = kNumPriorityClasses;
+          for (size_t c = kNumPriorityClasses; c-- > cls;)
+            if (classes_[c].depth > 0) {
+              victim_cls = c;
+              break;
+            }
+          if (victim_cls == kNumPriorityClasses) {
+            ++rejected_;
+            lk.unlock();
+            settle_rejected(r, /*shed=*/false);
+            return;
+          }
+          shed_one(victim_cls);
+        }
+        break;
+    }
+    r.id = next_id_++;
+    r.enqueued_at = std::chrono::steady_clock::now();
+    ClassState& cs = classes_[cls];
+    auto it = cs.index.find(r.client_id);
+    if (it == cs.index.end()) {
+      cs.active.push_back(ClientLane{r.client_id, 0, {}});
+      it = cs.index.emplace(r.client_id, std::prev(cs.active.end())).first;
+    }
+    it->second->q.push_back(std::move(r));
+    ++cs.depth;
+    ++total_;
+  }
+  ready_cv_.notify_one();
+}
+
+std::future<sc::InferenceResult> RequestQueue::submit(Tensor x,
+                                                      SubmitOptions opts) {
   check_arg(x.dim() == 4 && x.size(0) >= 1,
             "RequestQueue::submit: input must be [B, C, H, W] with B >= 1");
   Request r;
   r.x = std::move(x);
+  r.priority = opts.priority;
+  r.client_id = opts.client_id;
   std::future<sc::InferenceResult> fut = r.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    space_cv_.wait(lk, [this] {
-      return closed_ || capacity_ == 0 || q_.size() < capacity_;
-    });
-    if (closed_)
-      throw std::runtime_error("RequestQueue: submit after close");
-    r.id = next_id_++;
-    r.enqueued_at = std::chrono::steady_clock::now();
-    q_.push_back(std::move(r));
-  }
-  ready_cv_.notify_one();
+  enqueue_or_reject(std::move(r));
   return fut;
+}
+
+std::vector<std::future<sc::InferenceResult>> RequestQueue::submit_stream(
+    Tensor x, SubmitOptions opts) {
+  check_arg(x.dim() == 4 && x.size(0) >= 1,
+            "RequestQueue::submit_stream: input must be [B, C, H, W]");
+  Request r;
+  r.x = std::move(x);
+  r.priority = opts.priority;
+  r.client_id = opts.client_id;
+  r.streaming = true;
+  r.chunk_promises.resize(static_cast<size_t>(r.rows()));
+  std::vector<std::future<sc::InferenceResult>> futs;
+  futs.reserve(r.chunk_promises.size());
+  for (auto& p : r.chunk_promises) futs.push_back(p.get_future());
+  enqueue_or_reject(std::move(r));
+  return futs;
 }
 
 void RequestQueue::close() {
@@ -34,31 +157,83 @@ void RequestQueue::close() {
   space_cv_.notify_all();
 }
 
-bool RequestQueue::take_front(Request& out) {
-  if (q_.empty()) return false;
-  out = std::move(q_.front());
-  q_.pop_front();
-  space_cv_.notify_one();
-  return true;
+bool RequestQueue::take_next(Request& out) {
+  if (total_ == 0) return false;
+  for (ClassState& cs : classes_) {
+    if (cs.depth == 0) continue;
+    // DRR scan: rotate the lane ring granting one quantum per visit until
+    // some lane can afford its head request (cost = row count). Lanes
+    // carry unused deficit across pops, so a lane within its credit keeps
+    // the cursor and serves consecutive requests.
+    while (true) {
+      const size_t lanes = cs.active.size();
+      for (size_t visit = 0; visit < lanes; ++visit) {
+        if (cs.cursor == cs.active.end()) {
+          cs.cursor = cs.active.begin();
+          cs.visited = false;
+        }
+        ClientLane& lane = *cs.cursor;
+        const int64_t cost = lane.q.front().rows();
+        if (!cs.visited) {
+          lane.deficit += cfg_.drr_quantum;
+          cs.visited = true;
+        }
+        if (lane.deficit >= cost) {
+          out = std::move(lane.q.front());
+          lane.q.pop_front();
+          lane.deficit -= cost;
+          --cs.depth;
+          --total_;
+          if (lane.q.empty()) {
+            // Idle lanes do not bank credit (classic DRR).
+            erase_lane(cs, cs.cursor);
+          } else if (lane.deficit < lane.q.front().rows()) {
+            ++cs.cursor;
+            cs.visited = false;
+          }
+          space_cv_.notify_all();
+          return true;
+        }
+        ++cs.cursor;
+        cs.visited = false;
+      }
+      // A full rotation served nothing (every head costs more than its
+      // lane's credit — e.g. large client-side batches vs a small
+      // quantum). Grant every lane the minimum whole number of extra
+      // rounds that makes some head affordable: identical service order
+      // and proportions to spinning that many rotations, but O(lanes)
+      // with the lock held instead of O(rotations x lanes).
+      int64_t min_rounds = std::numeric_limits<int64_t>::max();
+      for (const ClientLane& lane : cs.active) {
+        const int64_t shortfall = lane.q.front().rows() - lane.deficit;
+        const int64_t rounds =
+            (shortfall + cfg_.drr_quantum - 1) / cfg_.drr_quantum;
+        min_rounds = std::min(min_rounds, rounds);
+      }
+      for (ClientLane& lane : cs.active)
+        lane.deficit += min_rounds * cfg_.drr_quantum;
+    }
+  }
+  return false;
 }
 
 bool RequestQueue::pop(Request& out) {
   std::unique_lock<std::mutex> lk(mu_);
-  ready_cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
-  return take_front(out);
+  ready_cv_.wait(lk, [this] { return closed_ || total_ > 0; });
+  return take_next(out);
 }
 
 bool RequestQueue::pop_until(Request& out,
                              std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lk(mu_);
   ready_cv_.wait_until(lk, deadline,
-                       [this] { return closed_ || !q_.empty(); });
-  return take_front(out);
+                       [this] { return closed_ || total_ > 0; });
+  return take_next(out);
 }
 
 size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return q_.size();
+  return total_;
 }
 
 bool RequestQueue::closed() const {
@@ -69,6 +244,16 @@ bool RequestQueue::closed() const {
 uint64_t RequestQueue::accepted() const {
   std::lock_guard<std::mutex> lk(mu_);
   return next_id_;
+}
+
+uint64_t RequestQueue::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+uint64_t RequestQueue::shed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
 }
 
 }  // namespace mtlsplit::serve

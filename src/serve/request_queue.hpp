@@ -2,46 +2,132 @@
 //
 // N client threads submit single-sample (or small-batch) inputs and get a
 // future for the per-task logits back; the server side pops requests —
-// singly or, via serve::DynamicBatcher, in coalesced batches. close()
-// rejects new submissions while letting consumers drain what is queued,
-// which is how ScServer shuts down without dropping accepted work.
+// singly or, via serve::DynamicBatcher, in coalesced batches.
+//
+// Dequeue order is priority-then-fairness: strict priority across the
+// three classes (kHigh before kNormal before kLow), and within a class a
+// deficit-round-robin (DRR) scan over per-client FIFO lanes, where a
+// request costs its row count against the client's deficit. A client that
+// floods the queue therefore cannot starve the others: backlogged clients
+// are served rows in quantum-sized proportions, and a client's own
+// requests still complete in submission order.
+//
+// Admission is governed by AdmissionConfig: when the queue (or the
+// request's priority class) is at capacity, Block waits for space (the
+// pre-existing backpressure behaviour), Reject settles the future
+// immediately with a typed RejectedError, and ShedOldest evicts the
+// oldest queued request of the lowest backlogged class at or below the
+// newcomer's priority — settling *its* future with RejectedError — to
+// admit the newcomer (when the entire backlog outranks the newcomer,
+// the newcomer is rejected instead: shedding never inverts priority).
+// Either way no submitter and no worker ever blocks unboundedly, and
+// every submitted request is settled exactly once (logits, server
+// error, or rejection).
+//
+// close() rejects new submissions while letting consumers drain what is
+// queued, which is how ScServer shuts down without dropping accepted work.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <mutex>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "sc/deployment.hpp"
 
 namespace mtlsplit::serve {
 
-/// One in-flight client request: the input plus the promise its logits
+/// Priority classes, highest first; dequeue is strict across classes.
+enum class Priority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr size_t kNumPriorityClasses = 3;
+
+/// Typed admission failure delivered through the request's future: the
+/// request was refused at the door (Reject) or evicted from the queue to
+/// make room for a newer arrival (ShedOldest).
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError(const std::string& what, bool shed)
+      : std::runtime_error(what), shed_(shed) {}
+  /// True when the request had been admitted and was later shed.
+  bool shed() const { return shed_; }
+
+ private:
+  bool shed_;
+};
+
+/// What to do with a submission that finds the queue at capacity.
+enum class AdmissionPolicy { kBlock, kReject, kShedOldest };
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// Bound on queued (accepted, not yet dispatched) requests; 0 = unbounded.
+  size_t capacity = 0;
+  /// Per-class depth limits, indexed by Priority; 0 = no class limit.
+  std::array<size_t, kNumPriorityClasses> class_capacity = {0, 0, 0};
+  /// Rows of credit a client lane earns per DRR visit. Larger quanta
+  /// trade fairness granularity for fewer cursor rotations.
+  int64_t drr_quantum = 1;
+};
+
+/// Per-submission routing metadata.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Fairness identity: requests sharing a client_id share one FIFO lane
+  /// and one DRR deficit. 0 is a perfectly valid (shared) identity.
+  uint64_t client_id = 0;
+};
+
+/// One in-flight client request: the input plus the promise(s) its logits
 /// (or its error) will be delivered through.
 struct Request {
   uint64_t id = 0;
-  Tensor x;  ///< [1, C, H, W] single sample (or a small client-side batch)
+  Tensor x;  ///< [B, C, H, W]; B >= 1 (B > 1 = client-side batch)
+  Priority priority = Priority::kNormal;
+  uint64_t client_id = 0;
+  bool streaming = false;
+  /// Settled exactly once when !streaming.
   std::promise<sc::InferenceResult> promise;
+  /// One promise per sample row when streaming: chunk i is settled as the
+  /// pipeline emits row i (ScDeployment::infer_stream + on_item).
+  std::vector<std::promise<sc::InferenceResult>> chunk_promises;
   std::chrono::steady_clock::time_point enqueued_at;
+
+  int64_t rows() const { return x.size(0); }
 };
 
 class RequestQueue {
  public:
-  /// @p capacity bounds the number of queued (accepted, not yet dispatched)
-  /// requests; submit() blocks while full. 0 means unbounded.
-  explicit RequestQueue(size_t capacity = 0) : capacity_(capacity) {}
+  /// Legacy constructor: capacity with blocking backpressure.
+  explicit RequestQueue(size_t capacity = 0) {
+    cfg_.capacity = capacity;
+  }
+  explicit RequestQueue(AdmissionConfig cfg);
 
-  /// Enqueues @p x and returns the future its result arrives on.
-  /// Throws std::runtime_error once the queue is closed.
-  std::future<sc::InferenceResult> submit(Tensor x);
+  /// Enqueues @p x and returns the future its result arrives on. Throws
+  /// std::runtime_error once the queue is closed, std::invalid_argument
+  /// for malformed input. Under Reject at capacity the returned future is
+  /// already settled with RejectedError; under ShedOldest the newcomer is
+  /// admitted and some older queued request's future gets RejectedError.
+  std::future<sc::InferenceResult> submit(Tensor x, SubmitOptions opts = {});
+
+  /// Streaming submission: the request is served through the pipelined
+  /// ScDeployment::infer_stream and each sample row's result arrives on
+  /// its own future, in row order, as the pipeline emits it. Admission
+  /// rules are identical to submit(); rejection settles every chunk.
+  std::vector<std::future<sc::InferenceResult>> submit_stream(
+      Tensor x, SubmitOptions opts = {});
 
   /// Closes intake: subsequent submit() throws, pops drain the remainder.
   void close();
 
-  /// Pops one request; blocks until one arrives or the queue is closed and
-  /// empty (then returns false).
+  /// Pops the next request in priority/DRR order; blocks until one
+  /// arrives or the queue is closed and empty (then returns false).
   bool pop(Request& out);
 
   /// Pops one request if one is available before @p deadline; returns
@@ -52,18 +138,47 @@ class RequestQueue {
 
   size_t size() const;
   bool closed() const;
-  /// Total requests ever accepted (also the id of the next request).
+  /// Total requests ever admitted (also the id of the next admission).
   uint64_t accepted() const;
+  /// Requests refused at admission (Reject policy).
+  uint64_t rejected() const;
+  /// Admitted requests later evicted (ShedOldest policy).
+  uint64_t shed() const;
+
+  const AdmissionConfig& admission() const { return cfg_; }
 
  private:
-  bool take_front(Request& out);
+  /// One client's FIFO lane within a priority class.
+  struct ClientLane {
+    uint64_t client = 0;
+    int64_t deficit = 0;
+    std::deque<Request> q;
+  };
+  /// DRR state for one priority class.
+  struct ClassState {
+    std::list<ClientLane> active;  // round-robin ring of backlogged clients
+    std::list<ClientLane>::iterator cursor = active.end();
+    bool visited = false;  // quantum already granted at the cursor lane
+    std::unordered_map<uint64_t, std::list<ClientLane>::iterator> index;
+    size_t depth = 0;  // queued requests in this class
+  };
+
+  void enqueue_or_reject(Request&& r);  // applies the admission policy
+  bool full_for(size_t cls) const;      // locked
+  void shed_one(size_t cls);            // locked; evicts ShedOldest victim
+  void erase_lane(ClassState& cs, std::list<ClientLane>::iterator it);
+  bool take_next(Request& out);         // locked
+  static void settle_rejected(Request& r, bool shed);
 
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;  // queue non-empty or closed
-  std::condition_variable space_cv_;  // queue below capacity or closed
-  std::deque<Request> q_;
-  size_t capacity_;
+  std::condition_variable space_cv_;  // space freed or closed
+  std::array<ClassState, kNumPriorityClasses> classes_;
+  size_t total_ = 0;
+  AdmissionConfig cfg_;
   uint64_t next_id_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
   bool closed_ = false;
 };
 

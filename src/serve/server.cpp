@@ -11,119 +11,251 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+uint64_t splitmix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
                    const sc::Channel& link, sc::DeviceProfile edge,
                    sc::DeviceProfile server, ServeConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity) {
+    : cfg_(cfg) {
   check_arg(!replicas.empty(), "ScServer: need at least one model replica");
+  owned_channels_.reserve(replicas.size());
+  std::vector<sc::Channel*> sessions;
+  sessions.reserve(replicas.size());
+  for (size_t w = 0; w < replicas.size(); ++w) {
+    owned_channels_.push_back(link.fork(w));
+    sessions.push_back(&owned_channels_[w]);
+  }
+  start(replicas, std::move(sessions), std::move(edge), std::move(server));
+}
+
+ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
+                   std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
+                   sc::DeviceProfile server, ServeConfig cfg)
+    : cfg_(cfg) {
+  check_arg(!replicas.empty(), "ScServer: need at least one model replica");
+  check_arg(sessions.size() == replicas.size(),
+            "ScServer: need exactly one channel session per replica");
+  start(replicas, std::move(sessions), std::move(edge), std::move(server));
+}
+
+void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
+                     std::vector<sc::Channel*> sessions,
+                     sc::DeviceProfile edge, sc::DeviceProfile server) {
   check_arg(cfg_.batching.max_batch_size >= 1,
             "ScServer: max_batch_size must be >= 1");
-  channels_.reserve(replicas.size());
-  deployments_.reserve(replicas.size());
-  for (size_t w = 0; w < replicas.size(); ++w) {
+  const size_t n = replicas.size();
+  const size_t per_shard =
+      cfg_.replicas_per_shard == 0 ? n : cfg_.replicas_per_shard;
+  check_arg(per_shard >= 1 && per_shard <= n,
+            "ScServer: replicas_per_shard must be in [1, num_replicas]");
+  const size_t num_shards = (n + per_shard - 1) / per_shard;
+  for (size_t s = 0; s < num_shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(cfg_.admission));
+
+  deployments_.reserve(n);
+  for (size_t w = 0; w < n; ++w) {
     check_arg(replicas[w] != nullptr, "ScServer: null model replica");
+    check_arg(sessions[w] != nullptr, "ScServer: null channel session");
     replicas[w]->set_training(false);
-    channels_.push_back(link.fork(w));
     deployments_.push_back(std::make_unique<sc::ScDeployment>(
-        *replicas[w], channels_[w], edge, server, cfg_.deployment));
+        *replicas[w], *sessions[w], edge, server, cfg_.deployment));
   }
-  workers_.reserve(replicas.size());
-  for (size_t w = 0; w < replicas.size(); ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
+  workers_.reserve(n);
+  for (size_t w = 0; w < n; ++w)
+    workers_.emplace_back([this, w, per_shard] {
+      worker_loop(w / per_shard, w);
+    });
 }
 
 ScServer::~ScServer() { shutdown(); }
 
-std::future<sc::InferenceResult> ScServer::submit(Tensor x) {
+size_t ScServer::route(uint64_t client_id) const {
+  if (cfg_.sharding == ShardingPolicy::kHashClient || shards_.size() == 1)
+    return splitmix64(client_id) % shards_.size();
+  // Least-loaded: fewest outstanding requests (queued + in service).
+  size_t best = 0;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const int64_t load = static_cast<int64_t>(shards_[s]->queue.size()) +
+                         shards_[s]->busy.load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best_load = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::future<sc::InferenceResult> ScServer::submit(Tensor x,
+                                                  SubmitOptions opts) {
   stats_.on_submit();
-  return queue_.submit(std::move(x));
+  return shards_[route(opts.client_id)]->queue.submit(std::move(x), opts);
+}
+
+std::vector<std::future<sc::InferenceResult>> ScServer::submit_stream(
+    Tensor x, SubmitOptions opts) {
+  stats_.on_submit();
+  return shards_[route(opts.client_id)]->queue.submit_stream(std::move(x),
+                                                             opts);
 }
 
 void ScServer::shutdown() {
   if (stopped_.exchange(true)) return;
-  queue_.close();
+  for (auto& shard : shards_) shard->queue.close();
   for (std::thread& t : workers_) t.join();
 }
 
-void ScServer::worker_loop(size_t w) {
-  DynamicBatcher batcher(queue_, cfg_.batching);
+ServeStats ScServer::stats() const {
+  ServeStats out = stats_.snapshot();
+  for (const auto& shard : shards_) {
+    out.rejected = saturating_add(
+        out.rejected, static_cast<int64_t>(shard->queue.rejected()));
+    out.shed =
+        saturating_add(out.shed, static_cast<int64_t>(shard->queue.shed()));
+  }
+  return out;
+}
+
+void ScServer::worker_loop(size_t shard, size_t replica) {
+  Shard& sh = *shards_[shard];
+  DynamicBatcher batcher(sh.queue, cfg_.batching);
   std::vector<Request> batch;
   while (batcher.next_batch(batch)) {
-    // Row r of the server batch belongs to batch[owner_of_row[r]]; a
-    // multi-sample request owns a run of consecutive rows.
-    std::vector<int64_t> rows_of;
-    std::vector<Tensor> parts;
-    rows_of.reserve(batch.size());
-    parts.reserve(batch.size());
-    for (Request& r : batch) {
-      rows_of.push_back(r.x.size(0));
-      parts.push_back(std::move(r.x));
-    }
-    size_t settled = 0;      // requests whose promise has been fulfilled
-    bool counted = false;    // stats_.on_batch already recorded this batch
-    try {
-      sc::BatchResult br = deployments_[w]->infer_batch(
-          parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
-      stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes);
-      counted = true;
-      size_t row = 0;
-      const auto now = std::chrono::steady_clock::now();
-      for (size_t i = 0; i < batch.size(); ++i) {
-        Request& r = batch[i];
-        // infer_batch treats every sample as its own request; a client that
-        // submitted k samples gets them merged back: all rows must succeed,
-        // logits are re-concatenated, latency components accumulate.
-        const size_t rows = static_cast<size_t>(rows_of[i]);
-        std::exception_ptr err;
-        for (size_t k = 0; k < rows && !err; ++k)
-          err = br.items[row + k].error;
-        if (err) {
-          r.promise.set_exception(err);
-          stats_.on_request(seconds_between(r.enqueued_at, now), false);
-        } else if (rows == 1) {
-          r.promise.set_value(std::move(br.items[row].result));
-          stats_.on_request(seconds_between(r.enqueued_at, now), true);
-        } else {
-          sc::InferenceResult merged;
-          merged.latency = br.items[row].result.latency;
-          const size_t tasks = br.items[row].result.logits.size();
-          for (size_t j = 0; j < tasks; ++j) {
-            std::vector<Tensor> rows_j;
-            rows_j.reserve(rows);
-            for (size_t k = 0; k < rows; ++k)
-              rows_j.push_back(std::move(br.items[row + k].result.logits[j]));
-            merged.logits.push_back(ops::concat_batch(rows_j));
-          }
-          for (size_t k = 1; k < rows; ++k) {
-            const sc::LatencyBreakdown& lat = br.items[row + k].result.latency;
-            merged.latency.edge_compute_s += lat.edge_compute_s;
-            merged.latency.transfer_s += lat.transfer_s;
-            merged.latency.server_compute_s += lat.server_compute_s;
-            merged.latency.wire_bytes += lat.wire_bytes;
-          }
-          r.promise.set_value(std::move(merged));
-          stats_.on_request(seconds_between(r.enqueued_at, now), true);
+    sh.busy.fetch_add(static_cast<int64_t>(batch.size()),
+                      std::memory_order_relaxed);
+    // Streaming requests run the pipelined path one by one; everything
+    // else rides the coalesced infer_batch.
+    std::vector<Request> plain;
+    std::vector<Request> streams;
+    plain.reserve(batch.size());
+    for (Request& r : batch)
+      (r.streaming ? streams : plain).push_back(std::move(r));
+    if (!plain.empty()) serve_plain(replica, plain);
+    for (Request& r : streams) serve_stream_request(replica, r);
+    sh.busy.fetch_sub(static_cast<int64_t>(batch.size()),
+                      std::memory_order_relaxed);
+  }
+}
+
+void ScServer::serve_plain(size_t replica, std::vector<Request>& batch) {
+  // Row r of the server batch belongs to batch[owner_of_row[r]]; a
+  // multi-sample request owns a run of consecutive rows.
+  std::vector<int64_t> rows_of;
+  std::vector<Tensor> parts;
+  rows_of.reserve(batch.size());
+  parts.reserve(batch.size());
+  for (Request& r : batch) {
+    rows_of.push_back(r.x.size(0));
+    parts.push_back(std::move(r.x));
+  }
+  size_t settled = 0;      // requests whose promise has been fulfilled
+  bool counted = false;    // stats_.on_batch already recorded this batch
+  try {
+    sc::BatchResult br = deployments_[replica]->infer_batch(
+        parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
+    stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes);
+    counted = true;
+    size_t row = 0;
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Request& r = batch[i];
+      // infer_batch treats every sample as its own request; a client that
+      // submitted k samples gets them merged back: all rows must succeed,
+      // logits are re-concatenated, latency components accumulate.
+      const size_t rows = static_cast<size_t>(rows_of[i]);
+      std::exception_ptr err;
+      for (size_t k = 0; k < rows && !err; ++k)
+        err = br.items[row + k].error;
+      if (err) {
+        r.promise.set_exception(err);
+        stats_.on_request(seconds_between(r.enqueued_at, now), false);
+      } else if (rows == 1) {
+        r.promise.set_value(std::move(br.items[row].result));
+        stats_.on_request(seconds_between(r.enqueued_at, now), true);
+      } else {
+        sc::InferenceResult merged;
+        merged.latency = br.items[row].result.latency;
+        const size_t tasks = br.items[row].result.logits.size();
+        for (size_t j = 0; j < tasks; ++j) {
+          std::vector<Tensor> rows_j;
+          rows_j.reserve(rows);
+          for (size_t k = 0; k < rows; ++k)
+            rows_j.push_back(std::move(br.items[row + k].result.logits[j]));
+          merged.logits.push_back(ops::concat_batch(rows_j));
         }
-        settled = i + 1;
-        row += rows;
+        for (size_t k = 1; k < rows; ++k) {
+          const sc::LatencyBreakdown& lat = br.items[row + k].result.latency;
+          merged.latency.edge_compute_s += lat.edge_compute_s;
+          merged.latency.transfer_s += lat.transfer_s;
+          merged.latency.server_compute_s += lat.server_compute_s;
+          merged.latency.wire_bytes += lat.wire_bytes;
+        }
+        r.promise.set_value(std::move(merged));
+        stats_.on_request(seconds_between(r.enqueued_at, now), true);
       }
-    } catch (...) {
-      // Whole-batch failure (e.g. a shape mismatch between coalesced
-      // requests, or an allocation failure mid-scatter): every owner whose
-      // promise is still open learns why. Requests settled before the
-      // throw keep their results — touching their promise again would
-      // raise std::future_error and kill the worker.
-      const std::exception_ptr err = std::current_exception();
-      if (!counted) stats_.on_batch(static_cast<int64_t>(batch.size()), 0);
-      const auto now = std::chrono::steady_clock::now();
-      for (size_t i = settled; i < batch.size(); ++i) {
-        batch[i].promise.set_exception(err);
-        stats_.on_request(seconds_between(batch[i].enqueued_at, now), false);
-      }
+      settled = i + 1;
+      row += rows;
+    }
+  } catch (...) {
+    // Whole-batch failure (e.g. a shape mismatch between coalesced
+    // requests, or an allocation failure mid-scatter): every owner whose
+    // promise is still open learns why. Requests settled before the
+    // throw keep their results — touching their promise again would
+    // raise std::future_error and kill the worker.
+    const std::exception_ptr err = std::current_exception();
+    if (!counted) stats_.on_batch(static_cast<int64_t>(batch.size()), 0);
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = settled; i < batch.size(); ++i) {
+      batch[i].promise.set_exception(err);
+      stats_.on_request(seconds_between(batch[i].enqueued_at, now), false);
     }
   }
+}
+
+void ScServer::serve_stream_request(size_t replica, Request& r) {
+  const auto rows = static_cast<size_t>(r.rows());
+  std::vector<char> emitted;
+  int64_t wire = 0;
+  bool ok = true;
+  // Everything that can throw — including the per-row slicing — stays
+  // inside the try: an escaped exception would leave chunk promises
+  // broken and kill the worker thread.
+  try {
+    emitted.assign(rows, 0);
+    std::vector<Tensor> items;
+    items.reserve(rows);
+    if (rows == 1) {
+      items.push_back(std::move(r.x));
+    } else {
+      for (size_t i = 0; i < rows; ++i)
+        items.push_back(ops::slice_batch(r.x, static_cast<int64_t>(i),
+                                         static_cast<int64_t>(i) + 1));
+    }
+    (void)deployments_[replica]->infer_stream(
+        items, [&](size_t i, sc::InferenceResult& item) {
+          wire += item.latency.wire_bytes;
+          r.chunk_promises[i].set_value(std::move(item));
+          emitted[i] = 1;
+        });
+  } catch (...) {
+    // The pipeline drained (or never started): chunks emitted before the
+    // failure keep their values, every later chunk learns the error.
+    ok = false;
+    const std::exception_ptr err = std::current_exception();
+    for (size_t i = 0; i < rows; ++i)
+      if (i >= emitted.size() || !emitted[i])
+        r.chunk_promises[i].set_exception(err);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  stats_.on_batch(1, wire);
+  stats_.on_request(seconds_between(r.enqueued_at, now), ok);
 }
 
 }  // namespace mtlsplit::serve

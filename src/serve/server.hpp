@@ -1,18 +1,27 @@
 // ScServer — the multi-client split-computing inference server
 // (DESIGN.md §8).
 //
-//   client threads --submit()--> RequestQueue --DynamicBatcher--> workers
-//        ^                                                           |
-//        '---- future<InferenceResult> <---- scatter per-task logits-'
+//   client threads --submit()--> router --> shard queues --batcher--> workers
+//        ^                                                               |
+//        '------ future<InferenceResult> <---- scatter per-task logits --'
+//
+// The replica set is partitioned into shards: each shard owns one
+// RequestQueue (with its own admission control and DRR fairness state)
+// and one worker per replica assigned to it. A sharding router assigns
+// every submission to a shard — kHashClient pins a client to a shard
+// (session affinity, deterministic placement), kLeastLoaded picks the
+// shard with the fewest outstanding requests (queued + in service).
 //
 // Each worker owns one model replica (identical weights, see
-// core::copy_model_state), one forked channel session and one
-// ScDeployment, so the compute path runs lock-free; all workers share the
-// runtime thread pool and its workspaces for their tensor kernels. A batch
-// is executed via ScDeployment::infer_batch: per-request wire messages,
-// per-request quantisation, per-request CRC error isolation — so any
-// request's result is bitwise identical to a sequential infer() on the
-// same model, whatever batch it rode in.
+// core::copy_model_state), one channel session and one ScDeployment, so
+// the compute path runs lock-free; all workers share the runtime thread
+// pool and its workspaces for their tensor kernels. A batch is executed
+// via ScDeployment::infer_batch: per-request wire messages, per-request
+// quantisation, per-request CRC error isolation — so any request's result
+// is bitwise identical to a sequential infer() on the same model,
+// whatever batch it rode in. Streaming requests (submit_stream) run the
+// three-stage infer_stream pipeline instead, settling one chunk future
+// per sample row as the server stage emits it.
 #pragma once
 
 #include <atomic>
@@ -24,10 +33,20 @@
 
 namespace mtlsplit::serve {
 
+/// How the router maps a submission to a shard.
+enum class ShardingPolicy {
+  kLeastLoaded,  ///< fewest outstanding (queued + in-service) requests
+  kHashClient    ///< splitmix64(client_id) % num_shards — session affinity
+};
+
 struct ServeConfig {
   BatchingPolicy batching;
-  /// Bound on queued requests (backpressure); 0 = unbounded.
-  size_t queue_capacity = 0;
+  /// Admission control applied per shard queue (policy, capacity,
+  /// per-class depth limits, DRR quantum).
+  AdmissionConfig admission;
+  /// Replicas grouped per shard; 0 = one shard holding every replica.
+  size_t replicas_per_shard = 0;
+  ShardingPolicy sharding = ShardingPolicy::kLeastLoaded;
   /// Z_b wire encoding, as in ScDeployment.
   sc::ScDeploymentConfig deployment;
 };
@@ -41,32 +60,62 @@ class ScServer {
   ScServer(std::vector<core::MtlSplitModel*> replicas, const sc::Channel& link,
            sc::DeviceProfile edge, sc::DeviceProfile server,
            ServeConfig cfg = {});
+
+  /// Session-injection variant: one caller-owned channel session per
+  /// replica (e.g. sc::FaultInjectChannel for fault drills). Sessions
+  /// must outlive the server and must not be shared between replicas
+  /// (Channel is not thread-safe).
+  ScServer(std::vector<core::MtlSplitModel*> replicas,
+           std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
+           sc::DeviceProfile server, ServeConfig cfg = {});
+
   ~ScServer();
   ScServer(const ScServer&) = delete;
   ScServer& operator=(const ScServer&) = delete;
 
-  /// Enqueues one request ([1, C, H, W], or a small client-side batch that
-  /// is served as one request). Blocks while the queue is at capacity;
-  /// throws std::runtime_error after shutdown().
-  std::future<sc::InferenceResult> submit(Tensor x);
+  /// Enqueues one request ([B, C, H, W], B >= 1; a client-side batch is
+  /// served as one request) on the shard the router picks. Admission
+  /// follows cfg.admission: Block exerts backpressure, Reject/ShedOldest
+  /// deliver RejectedError through a future instead of ever blocking.
+  /// Throws std::runtime_error after shutdown().
+  std::future<sc::InferenceResult> submit(Tensor x, SubmitOptions opts = {});
+
+  /// Streaming request: each sample row of @p x gets its own future,
+  /// settled in row order as the pipelined deployment emits chunks.
+  std::vector<std::future<sc::InferenceResult>> submit_stream(
+      Tensor x, SubmitOptions opts = {});
 
   /// Stops intake, drains every accepted request, joins the workers.
   /// Idempotent.
   void shutdown();
 
-  /// Statistics snapshot; final once shutdown() returned.
-  ServeStats stats() const { return stats_.snapshot(); }
+  /// Statistics snapshot (including per-shard rejected/shed tallies);
+  /// final once shutdown() returned.
+  ServeStats stats() const;
 
   size_t num_workers() const { return workers_.size(); }
+  size_t num_shards() const { return shards_.size(); }
   const BatchingPolicy& batching() const { return cfg_.batching; }
 
  private:
-  void worker_loop(size_t w);
+  struct Shard {
+    RequestQueue queue;
+    std::atomic<int64_t> busy{0};  ///< popped, not yet settled
+    explicit Shard(const AdmissionConfig& cfg) : queue(cfg) {}
+  };
+
+  void start(std::vector<core::MtlSplitModel*>& replicas,
+             std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
+             sc::DeviceProfile server);
+  size_t route(uint64_t client_id) const;
+  void worker_loop(size_t shard, size_t replica);
+  void serve_plain(size_t replica, std::vector<Request>& batch);
+  void serve_stream_request(size_t replica, Request& r);
 
   ServeConfig cfg_;
-  std::vector<sc::Channel> channels_;  // one session per worker
+  std::vector<sc::Channel> owned_channels_;  // fork path; one per worker
   std::vector<std::unique_ptr<sc::ScDeployment>> deployments_;
-  RequestQueue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   StatsCollector stats_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

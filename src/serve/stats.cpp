@@ -8,16 +8,21 @@
 namespace mtlsplit::serve {
 
 double ServeStats::throughput_rps() const {
-  const int64_t done = completed + failed;
+  const int64_t done = saturating_add(completed, failed);
   return wall_s > 0.0 ? static_cast<double>(done) / wall_s : 0.0;
 }
 
 double ServeStats::percentile(double p) const {
-  check_arg(p > 0.0 && p <= 100.0, "ServeStats::percentile: p in (0, 100]");
-  if (latency_s.empty()) return 0.0;
-  const auto n = static_cast<double>(latency_s.size());
-  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
-  return latency_s[std::min(latency_s.size() - 1, rank == 0 ? 0 : rank - 1)];
+  // Clamp monotone across the three independent estimators: with few
+  // samples their parabolic markers can momentarily cross.
+  const double p50 = lat_p50.value();
+  const double p95 = std::max(p50, lat_p95.value());
+  const double p99 = std::max(p95, lat_p99.value());
+  if (p == 50.0) return p50;
+  if (p == 95.0) return p95;
+  if (p == 99.0) return p99;
+  check_arg(false, "ServeStats::percentile: only p50/p95/p99 are tracked");
+  return 0.0;
 }
 
 double ServeStats::mean_batch_size() const {
@@ -37,20 +42,25 @@ void StatsCollector::on_submit() {
 void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes) {
   check_arg(batch_size >= 1, "StatsCollector: empty batch");
   std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.batches;
-  stats_.wire_bytes += wire_bytes;
-  if (static_cast<int64_t>(stats_.batch_hist.size()) <= batch_size)
-    stats_.batch_hist.resize(static_cast<size_t>(batch_size) + 1, 0);
-  ++stats_.batch_hist[static_cast<size_t>(batch_size)];
+  stats_.batches = saturating_add(stats_.batches, 1);
+  stats_.wire_bytes = saturating_add(stats_.wire_bytes, wire_bytes);
+  const int64_t bucket = std::min(batch_size, ServeStats::kBatchHistMax);
+  if (static_cast<int64_t>(stats_.batch_hist.size()) <= bucket)
+    stats_.batch_hist.resize(static_cast<size_t>(bucket) + 1, 0);
+  stats_.batch_hist[static_cast<size_t>(bucket)] = saturating_add(
+      stats_.batch_hist[static_cast<size_t>(bucket)], 1);
 }
 
 void StatsCollector::on_request(double e2e_latency_s, bool ok) {
   std::lock_guard<std::mutex> lk(mu_);
   if (ok)
-    ++stats_.completed;
+    stats_.completed = saturating_add(stats_.completed, 1);
   else
-    ++stats_.failed;
-  stats_.latency_s.push_back(e2e_latency_s);
+    stats_.failed = saturating_add(stats_.failed, 1);
+  stats_.lat_p50.add(e2e_latency_s);
+  stats_.lat_p95.add(e2e_latency_s);
+  stats_.lat_p99.add(e2e_latency_s);
+  stats_.max_latency_s = std::max(stats_.max_latency_s, e2e_latency_s);
   last_done_ = std::chrono::steady_clock::now();
 }
 
@@ -60,7 +70,6 @@ ServeStats StatsCollector::snapshot() const {
   if (started_ && (out.completed + out.failed) > 0)
     out.wall_s =
         std::chrono::duration<double>(last_done_ - first_submit_).count();
-  std::sort(out.latency_s.begin(), out.latency_s.end());
   return out;
 }
 

@@ -1,33 +1,61 @@
 // Serving statistics: throughput, end-to-end latency percentiles, the
-// batch-size histogram (did dynamic batching actually coalesce?), and wire
-// traffic. A thread-safe collector accumulates from the worker pool; a
-// plain-value ServeStats snapshot is what callers and BENCH_SERVING.json
-// consume.
+// batch-size histogram (did dynamic batching actually coalesce?), wire
+// traffic, and admission-control outcomes (rejected / shed). A thread-safe
+// collector accumulates from the worker pool; a plain-value ServeStats
+// snapshot is what callers and BENCH_SERVING.json consume.
+//
+// Memory is bounded for long-lived servers: latency percentiles are P²
+// streaming estimates (serve/p2_quantile.hpp), the batch-size histogram
+// is capped with a final overflow bucket, and every additive counter uses
+// saturating arithmetic so a months-long run clamps at INT64_MAX instead
+// of wrapping negative.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <vector>
 
+#include "serve/p2_quantile.hpp"
+
 namespace mtlsplit::serve {
 
+/// a + b clamped to [INT64_MIN, INT64_MAX]; both operands non-negative in
+/// practice, so the relevant clamp is the upper one.
+inline int64_t saturating_add(int64_t a, int64_t b) {
+  if (b >= 0 && a > std::numeric_limits<int64_t>::max() - b)
+    return std::numeric_limits<int64_t>::max();
+  if (b < 0 && a < std::numeric_limits<int64_t>::min() - b)
+    return std::numeric_limits<int64_t>::min();
+  return a + b;
+}
+
 struct ServeStats {
+  /// Batch sizes >= kBatchHistMax land in the final (overflow) bucket, so
+  /// the histogram never grows past kBatchHistMax + 1 entries.
+  static constexpr int64_t kBatchHistMax = 64;
+
   int64_t completed = 0;  ///< requests whose future received logits
   int64_t failed = 0;     ///< requests whose future received an exception
+  int64_t rejected = 0;   ///< requests refused at admission (Reject policy)
+  int64_t shed = 0;       ///< queued requests evicted (ShedOldest policy)
   int64_t batches = 0;    ///< server batches executed
   int64_t wire_bytes = 0; ///< total Z_b bytes that crossed the link
   /// Wall-clock from the first accepted request to the last completion.
   double wall_s = 0.0;
-  /// batch_hist[b] = number of server batches that coalesced b requests.
+  /// batch_hist[b] = number of server batches that coalesced b requests;
+  /// the final bucket aggregates every batch of kBatchHistMax or more.
   std::vector<int64_t> batch_hist;
-  /// Sorted end-to-end latency (enqueue -> future fulfilled) per finished
-  /// request, seconds.
-  std::vector<double> latency_s;
+  /// P² streaming estimates of end-to-end (enqueue -> future fulfilled)
+  /// latency; constant memory however many requests were served.
+  P2Quantile lat_p50{0.50}, lat_p95{0.95}, lat_p99{0.99};
+  double max_latency_s = 0.0;
 
   /// Finished requests per wall-clock second.
   double throughput_rps() const;
-  /// Nearest-rank latency percentile, @p p in (0, 100].
+  /// Latency percentile estimate; @p p must be one of the tracked
+  /// quantiles 50, 95, 99. Estimates are clamped monotone in p.
   double percentile(double p) const;
   double mean_batch_size() const;
 };
@@ -39,6 +67,10 @@ class StatsCollector {
   void on_submit();
   void on_batch(int64_t batch_size, int64_t wire_bytes);
   void on_request(double e2e_latency_s, bool ok);
+  /// Note: rejected/shed are tallied by the RequestQueue that refused or
+  /// evicted the request; ScServer::stats() merges those per-shard
+  /// counters into the snapshot. The collector itself never counts them
+  /// (a second tally here would double-count).
   ServeStats snapshot() const;
 
  private:

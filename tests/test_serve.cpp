@@ -386,6 +386,78 @@ TEST(ScServer, MultiSampleRequestIsServedAsOneUnit) {
   EXPECT_EQ(server.stats().completed, 1);
 }
 
+TEST(ScServer, StreamedChunksAreBitwiseIdenticalToSequentialInfer) {
+  ServeRig rig(1);
+  ServeRig ref_rig(1);
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ScServer server({rig.models[0].get()}, link, sc::jetson_nano(),
+                         sc::rtx3090_server());
+  std::vector<Tensor> rows;
+  for (uint64_t i = 0; i < 5; ++i) rows.push_back(rig.random_input(700 + i));
+  auto chunks = server.submit_stream(ops::concat_batch(rows));
+  ASSERT_EQ(chunks.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const sc::InferenceResult got = chunks[i].get();
+    const sc::InferenceResult want = ref.infer(rows[i]);
+    ASSERT_EQ(got.logits.size(), want.logits.size());
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+          << "streamed chunk " << i << " task " << j << " diverged";
+  }
+  server.shutdown();
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1);  // one streaming request
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ScServer, ReplicaShardingRoutesAndServesEveryRequest) {
+  // Four replicas, two per shard: both routing policies must deliver
+  // bitwise-correct results from whichever shard served the request.
+  ServeRig rig(/*replicas=*/4);
+  ServeRig ref_rig(1);
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+
+  for (const serve::ShardingPolicy policy :
+       {serve::ShardingPolicy::kHashClient,
+        serve::ShardingPolicy::kLeastLoaded}) {
+    sc::Channel link({.bandwidth_bps = 1e9});
+    serve::ScServer server(
+        {rig.models[0].get(), rig.models[1].get(), rig.models[2].get(),
+         rig.models[3].get()},
+        link, sc::jetson_nano(), sc::rtx3090_server(),
+        {.batching = {.max_batch_size = 2, .max_wait_us = 500},
+         .replicas_per_shard = 2,
+         .sharding = policy});
+    ASSERT_EQ(server.num_shards(), 2u);
+    ASSERT_EQ(server.num_workers(), 4u);
+
+    std::vector<Tensor> inputs;
+    std::vector<std::future<sc::InferenceResult>> futures;
+    for (uint64_t i = 0; i < 16; ++i) {
+      inputs.push_back(rig.random_input(810 + i));
+      futures.push_back(
+          server.submit(inputs.back(), {.client_id = i % 4}));
+    }
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const sc::InferenceResult got = futures[i].get();
+      const sc::InferenceResult want = ref.infer(inputs[i]);
+      for (size_t j = 0; j < want.logits.size(); ++j)
+        EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+            << "sharded request " << i << " diverged";
+    }
+    server.shutdown();
+    EXPECT_EQ(server.stats().completed, 16);
+  }
+}
+
 TEST(ScServer, SubmitAfterShutdownThrows) {
   ServeRig rig(1);
   sc::Channel link({.bandwidth_bps = 1e9});

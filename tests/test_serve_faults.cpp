@@ -1,0 +1,200 @@
+// Fault injection over the serving wire: FaultInjectChannel corrupts or
+// drops every k-th message on a deterministic schedule; exactly the
+// owning request of each faulted message is poisoned, every other future
+// settles with bitwise-correct logits, and the server stays serviceable
+// afterwards (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mtl/model_factory.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+struct FaultRig {
+  std::unique_ptr<core::MtlSplitModel> model;
+  std::unique_ptr<core::MtlSplitModel> ref_model;
+
+  explicit FaultRig(uint64_t seed = 1) {
+    core::ModelFactoryConfig cfg;
+    cfg.backbone = models::BackboneKind::kMobileNetV3;
+    cfg.image_shape = {3, 16, 16};
+    Rng rng(seed);
+    model = core::make_mtl_model(cfg, {{"a", 4}, {"b", 3}}, rng);
+    model->set_training(false);
+    Rng rng2(seed + 50);
+    ref_model = core::make_mtl_model(cfg, {{"a", 4}, {"b", 3}}, rng2);
+    core::copy_model_state(*ref_model, *model);
+    ref_model->set_training(false);
+  }
+
+  Tensor input(uint64_t seed) const {
+    Rng rng(seed);
+    Tensor t({1, 3, 16, 16});
+    rng.fill_uniform(t, 0.0f, 1.0f);
+    return t;
+  }
+};
+
+// ------------------------------------------------------ deployment level
+
+TEST(FaultInject, CorruptEveryKthPoisonsExactlyThoseBatchItems) {
+  FaultRig rig;
+  std::vector<Tensor> inputs;
+  for (uint64_t i = 0; i < 8; ++i) inputs.push_back(rig.input(100 + i));
+  const Tensor batch = ops::concat_batch(inputs);
+
+  sc::Channel clean({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*rig.ref_model, clean, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  const sc::BatchResult want = ref.infer_batch(batch);
+
+  // infer_batch sends one message per sample in row order, so messages
+  // 3 and 6 (1-based) belong to rows 2 and 5.
+  sc::FaultInjectChannel noisy({.bandwidth_bps = 1e9}, {.every_k = 3});
+  sc::ScDeployment dep(*rig.model, noisy, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  const sc::BatchResult got = dep.infer_batch(batch);
+  EXPECT_EQ(noisy.faults_injected(), 2);
+  ASSERT_EQ(got.items.size(), 8u);
+  for (size_t i = 0; i < got.items.size(); ++i) {
+    if (i == 2 || i == 5) {
+      ASSERT_FALSE(got.items[i].ok()) << "row " << i << " should be poisoned";
+      EXPECT_THROW(std::rethrow_exception(got.items[i].error),
+                   std::invalid_argument);  // CRC rejection
+      EXPECT_TRUE(got.items[i].result.logits.empty());
+    } else {
+      ASSERT_TRUE(got.items[i].ok()) << "row " << i << " should survive";
+      for (size_t j = 0; j < want.items[i].result.logits.size(); ++j)
+        EXPECT_TRUE(got.items[i].result.logits[j].equals(
+            want.items[i].result.logits[j]))
+            << "survivor " << i << " diverged from the clean run";
+    }
+  }
+}
+
+TEST(FaultInject, DroppedMessagesFailLikeTruncatedWire) {
+  FaultRig rig;
+  std::vector<Tensor> inputs;
+  for (uint64_t i = 0; i < 8; ++i) inputs.push_back(rig.input(200 + i));
+  sc::FaultInjectChannel lossy(
+      {.bandwidth_bps = 1e9},
+      {.every_k = 4, .mode = sc::FaultSpec::Mode::kDrop});
+  sc::ScDeployment dep(*rig.model, lossy, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  const sc::BatchResult got = dep.infer_batch(ops::concat_batch(inputs));
+  EXPECT_EQ(lossy.faults_injected(), 2);
+  for (size_t i = 0; i < got.items.size(); ++i) {
+    if (i == 3 || i == 7) {
+      ASSERT_FALSE(got.items[i].ok());
+      EXPECT_THROW(std::rethrow_exception(got.items[i].error),
+                   std::invalid_argument);  // "message too short"
+    } else {
+      EXPECT_TRUE(got.items[i].ok());
+    }
+  }
+}
+
+// ---------------------------------------------------------- server level
+
+TEST(FaultInject, ServerPoisonsOneRequestPerFaultAndStaysServiceable) {
+  FaultRig rig;
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*rig.ref_model, ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+
+  // Session injection: the server uses the fault channel itself instead
+  // of forking a clean session from it.
+  sc::FaultInjectChannel faulty({.bandwidth_bps = 1e9}, {.every_k = 5});
+  serve::ScServer server({rig.model.get()}, {&faulty}, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 3,
+                                       .max_wait_us = 1000}});
+
+  // One worker + one shared lane: requests are popped FIFO, and
+  // infer_batch sends messages in batch row order, so wire message i
+  // (1-based) belongs to request i-1 whatever batches formed.
+  auto run_round = [&](uint64_t seed_base, size_t n, size_t& failed,
+                       size_t& survived) {
+    std::vector<Tensor> inputs;
+    std::vector<std::future<sc::InferenceResult>> futures;
+    for (uint64_t i = 0; i < n; ++i) {
+      inputs.push_back(rig.input(seed_base + i));
+      futures.push_back(server.submit(inputs.back()));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        const sc::InferenceResult got = futures[i].get();
+        const sc::InferenceResult want = ref.infer(inputs[i]);
+        for (size_t j = 0; j < want.logits.size(); ++j)
+          EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+              << "request " << i << " task " << j << " diverged";
+        ++survived;
+      } catch (const std::invalid_argument&) {
+        ++failed;
+      }
+    }
+  };
+
+  size_t failed = 0, survived = 0;
+  run_round(500, 20, failed, survived);
+  // Exactly one request poisoned per injected fault, nothing else.
+  EXPECT_EQ(static_cast<int64_t>(failed), faulty.faults_injected());
+  EXPECT_EQ(failed, 4u);  // messages 5, 10, 15, 20
+  EXPECT_EQ(survived, 16u);
+
+  // The server keeps serving after the faults: a second round completes
+  // with the same per-fault isolation.
+  run_round(800, 10, failed, survived);
+  EXPECT_EQ(static_cast<int64_t>(failed), faulty.faults_injected());
+  EXPECT_EQ(failed, 6u);  // messages 25, 30 faulted in round two
+  EXPECT_EQ(survived, 24u);
+
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 24);
+  EXPECT_EQ(s.failed, 6);
+  EXPECT_EQ(s.rejected, 0);
+}
+
+TEST(FaultInject, StreamFaultSettlesEmittedChunksThenPoisonsTheTail) {
+  FaultRig rig;
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*rig.ref_model, ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+
+  // Second wire message corrupts: chunk 0 must arrive bitwise clean,
+  // chunks 1..3 must all carry the error — and exactly once each.
+  sc::FaultInjectChannel faulty({.bandwidth_bps = 1e9}, {.every_k = 2});
+  serve::ScServer server({rig.model.get()}, {&faulty}, sc::jetson_nano(),
+                         sc::rtx3090_server());
+
+  std::vector<Tensor> rows;
+  for (uint64_t i = 0; i < 4; ++i) rows.push_back(rig.input(300 + i));
+  auto chunks = server.submit_stream(ops::concat_batch(rows));
+  ASSERT_EQ(chunks.size(), 4u);
+
+  const sc::InferenceResult got0 = chunks[0].get();
+  const sc::InferenceResult want0 = ref.infer(rows[0]);
+  for (size_t j = 0; j < want0.logits.size(); ++j)
+    EXPECT_TRUE(got0.logits[j].equals(want0.logits[j]))
+        << "pre-fault chunk diverged";
+  for (size_t i = 1; i < 4; ++i)
+    EXPECT_THROW((void)chunks[i].get(), std::invalid_argument)
+        << "chunk " << i << " should carry the wire error";
+
+  // Still serviceable: a plain request after the stream fault completes.
+  // The wire stage stopped at message 2, so this is message 3 — clean.
+  auto fut = server.submit(rig.input(999));
+  EXPECT_NO_THROW((void)fut.get());
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 1);  // the plain request
+  EXPECT_EQ(s.failed, 1);     // the stream counts once, as failed
+}
+
+}  // namespace
+}  // namespace mtlsplit

@@ -1,0 +1,182 @@
+// Serving statistics: the P² streaming-quantile estimator (accuracy
+// against exact percentiles on uniform / lognormal / adversarially sorted
+// streams, constant memory), saturating counters, and the bounded
+// batch-size histogram (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <type_traits>
+
+#include "serve/stats.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using serve::P2Quantile;
+using serve::saturating_add;
+using serve::ServeStats;
+using serve::StatsCollector;
+
+/// Exact nearest-rank percentile of a sample vector, q in (0, 1).
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void expect_close_quantiles(const std::vector<double>& data,
+                            double rel_tol, const char* label) {
+  for (const double q : {0.5, 0.95, 0.99}) {
+    P2Quantile est(q);
+    for (const double x : data) est.add(x);
+    const double exact = exact_quantile(data, q);
+    // Tolerance scales with the spread of the distribution around the
+    // quantile, not its absolute location (robust for skewed streams).
+    const double spread = exact_quantile(data, 0.99) -
+                          exact_quantile(data, 0.05);
+    EXPECT_NEAR(est.value(), exact, rel_tol * spread)
+        << label << " q=" << q << " over " << data.size() << " samples";
+    EXPECT_EQ(est.count(), static_cast<int64_t>(data.size()));
+  }
+}
+
+// ---------------------------------------------------------------- P2Quantile
+
+TEST(P2Quantile, ExactForFewerThanFiveSamples) {
+  P2Quantile p50(0.5);
+  EXPECT_DOUBLE_EQ(p50.value(), 0.0);  // empty
+  p50.add(7.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 7.0);
+  p50.add(1.0);
+  p50.add(9.0);  // sorted: 1, 7, 9 -> nearest-rank p50 = 7
+  EXPECT_DOUBLE_EQ(p50.value(), 7.0);
+  P2Quantile p99(0.99);
+  for (const double x : {4.0, 2.0, 8.0, 6.0}) p99.add(x);
+  EXPECT_DOUBLE_EQ(p99.value(), 8.0);  // max of the first four
+}
+
+TEST(P2Quantile, UniformStreamMatchesExactPercentiles) {
+  std::mt19937_64 gen(17);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> data(10000);
+  for (double& x : data) x = dist(gen);
+  expect_close_quantiles(data, 0.02, "uniform");
+}
+
+TEST(P2Quantile, LognormalStreamMatchesExactPercentiles) {
+  // Heavy right tail: the regime latency distributions live in.
+  std::mt19937_64 gen(29);
+  std::lognormal_distribution<double> dist(0.0, 0.75);
+  std::vector<double> data(10000);
+  for (double& x : data) x = dist(gen);
+  expect_close_quantiles(data, 0.05, "lognormal");
+}
+
+TEST(P2Quantile, AdversarialSortedStreamsStayWithinTolerance) {
+  // Monotone streams are the classic P² stress: every observation lands
+  // in an extreme cell, so the markers must chase a moving front.
+  std::vector<double> asc(10000);
+  for (size_t i = 0; i < asc.size(); ++i)
+    asc[i] = static_cast<double>(i) / 1000.0;
+  expect_close_quantiles(asc, 0.05, "sorted-ascending");
+  std::vector<double> desc(asc.rbegin(), asc.rend());
+  expect_close_quantiles(desc, 0.05, "sorted-descending");
+}
+
+TEST(P2Quantile, ConstantMemoryWhateverTheStreamLength) {
+  // The estimator is a fixed-size value type: no heap, no growth. This is
+  // the property that lets ServeStats live in a months-long server.
+  static_assert(std::is_trivially_copyable_v<P2Quantile>,
+                "P2Quantile must be a flat value type (no heap state)");
+  static_assert(sizeof(P2Quantile) <= 5 * 4 * sizeof(double) + 32,
+                "P2Quantile must hold five markers, not samples");
+  P2Quantile est(0.99);
+  std::mt19937_64 gen(5);
+  std::exponential_distribution<double> dist(1.0);
+  for (int i = 0; i < 200000; ++i) est.add(dist(gen));
+  EXPECT_EQ(est.count(), 200000);
+  EXPECT_GT(est.value(), 0.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ saturating_add
+
+TEST(SaturatingAdd, ClampsInsteadOfWrapping) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(saturating_add(max, 1), max);
+  EXPECT_EQ(saturating_add(max, max), max);
+  EXPECT_EQ(saturating_add(min, -1), min);
+  EXPECT_EQ(saturating_add(max - 5, 3), max - 2);
+  EXPECT_EQ(saturating_add(40, 2), 42);
+}
+
+// ---------------------------------------------------------------- ServeStats
+
+TEST(ServeStats, CountersSaturateOnLongRuns) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  StatsCollector c;
+  c.on_batch(1, max);
+  c.on_batch(1, max);  // would wrap negative with plain +=
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.wire_bytes, max);
+  EXPECT_EQ(s.batches, 2);
+}
+
+TEST(ServeStats, BatchHistogramIsBoundedWithOverflowBucket) {
+  StatsCollector c;
+  c.on_batch(3, 10);
+  c.on_batch(ServeStats::kBatchHistMax + 500, 10);  // lands in overflow
+  c.on_batch(100000, 10);
+  const ServeStats s = c.snapshot();
+  ASSERT_EQ(s.batch_hist.size(),
+            static_cast<size_t>(ServeStats::kBatchHistMax) + 1);
+  EXPECT_EQ(s.batch_hist[3], 1);
+  EXPECT_EQ(s.batch_hist[static_cast<size_t>(ServeStats::kBatchHistMax)], 2);
+}
+
+TEST(ServeStats, SnapshotMemoryDoesNotGrowWithRequestCount) {
+  StatsCollector c;
+  std::mt19937_64 gen(3);
+  std::lognormal_distribution<double> lat(-6.0, 0.5);
+  for (int i = 0; i < 10000; ++i) {
+    c.on_submit();
+    c.on_batch(4, 256);
+    c.on_request(lat(gen), true);
+  }
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.completed, 10000);
+  // The only dynamically sized member is the (bounded) histogram.
+  EXPECT_LE(s.batch_hist.size(),
+            static_cast<size_t>(ServeStats::kBatchHistMax) + 1);
+  // Percentile estimates are ordered and plausible.
+  EXPECT_GT(s.percentile(50), 0.0);
+  EXPECT_LE(s.percentile(50), s.percentile(95));
+  EXPECT_LE(s.percentile(95), s.percentile(99));
+  EXPECT_LE(s.percentile(99), s.max_latency_s);
+}
+
+TEST(ServeStats, PercentileRestrictedToTrackedQuantiles) {
+  ServeStats s;
+  EXPECT_THROW((void)s.percentile(75.0), std::invalid_argument);
+}
+
+TEST(ServeStats, MaxLatencyBoundsTheEstimates) {
+  StatsCollector c;
+  for (const double x : {0.004, 0.001, 0.009, 0.002, 0.007, 0.012})
+    c.on_request(x, true);
+  const ServeStats s = c.snapshot();
+  EXPECT_DOUBLE_EQ(s.max_latency_s, 0.012);
+  EXPECT_LE(s.percentile(99), s.max_latency_s);
+}
+
+}  // namespace
+}  // namespace mtlsplit
