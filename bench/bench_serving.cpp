@@ -17,6 +17,15 @@
 //     against three modest open-loop clients on one DRR queue; the
 //     flooder is capped to its deficit-round-robin share while the other
 //     clients complete their full offered load.
+//  4. Deadline scenario: the same overload offered with a per-request
+//     ttl. Without deadlines every admitted request is computed however
+//     stale; with them, work that already missed its SLO is settled with
+//     DeadlineExceededError before it reaches the model, so the p99 of
+//     what *is* served stays near the unsaturated tail.
+//  5. Autoscale scenario: a burst against a min=1/max=3 autoscaling
+//     server vs the same burst on a static single replica; the
+//     controller mints replicas (copy_model_state + Channel::fork) while
+//     the burst drains and retires them once idle.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -24,6 +33,7 @@
 #include <thread>
 
 #include "mtl/model_factory.hpp"
+#include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
 
 using namespace mtlsplit;
@@ -295,6 +305,170 @@ FairnessResult run_fairness(core::MtlSplitModel* m0) {
   return out;
 }
 
+struct DeadlineResult {
+  double offered_qps = 0.0;
+  double ttl_ms = 0.0;
+  int64_t completed_no_ttl = 0;
+  double p99_no_ttl_ms = 0.0;
+  int64_t completed_ttl = 0;
+  int64_t expired_ttl = 0;
+  double p99_ttl_ms = 0.0;
+};
+
+/// One open-loop overload run; with_ttl attaches a per-request deadline.
+serve::ServeStats run_deadline_cell(
+    std::vector<core::MtlSplitModel*> replicas, double offered_qps,
+    double ttl_ms, bool with_ttl) {
+  sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  serve::ScServer server(std::move(replicas), link, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 8,
+                                       .max_wait_us = 1000}});
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      std::mt19937_64 gen(0xD34D + c);
+      std::exponential_distribution<double> gap(offered_qps /
+                                                static_cast<double>(kClients));
+      std::vector<std::future<sc::InferenceResult>> futures;
+      auto next_arrival = std::chrono::steady_clock::now();
+      for (size_t k = 0; k < kPerClient; ++k) {
+        next_arrival += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap(gen)));
+        std::this_thread::sleep_until(next_arrival);
+        serve::SubmitOptions opts{.client_id = c};
+        if (with_ttl)
+          opts.ttl = std::chrono::microseconds(
+              static_cast<int64_t>(1e3 * ttl_ms));
+        futures.push_back(
+            server.submit(request_input(110000 + c * 1000 + k), opts));
+      }
+      for (auto& f : futures) {
+        try {
+          (void)f.get();
+        } catch (const serve::DeadlineExceededError&) {
+        }
+      }
+    });
+  for (auto& t : clients) t.join();
+  server.shutdown();
+  return server.stats();
+}
+
+DeadlineResult run_deadlines(core::MtlSplitModel* m0, double saturation_qps) {
+  DeadlineResult out;
+  out.offered_qps = 2.0 * saturation_qps;
+  out.ttl_ms = 30.0;
+  // One replica on purpose: the overload has to queue somewhere for the
+  // deadline to matter.
+  const serve::ServeStats plain =
+      run_deadline_cell({m0}, out.offered_qps, out.ttl_ms, /*with_ttl=*/false);
+  out.completed_no_ttl = plain.completed;
+  out.p99_no_ttl_ms = 1e3 * plain.percentile(99);
+  const serve::ServeStats slo =
+      run_deadline_cell({m0}, out.offered_qps, out.ttl_ms, /*with_ttl=*/true);
+  out.completed_ttl = slo.completed;
+  out.expired_ttl = slo.expired;
+  out.p99_ttl_ms = 1e3 * slo.percentile(99);
+  return out;
+}
+
+struct AutoscaleBench {
+  int64_t burst = 0;
+  /// Replica parallelism only buys wall-clock on a multi-core host; the
+  /// speedup figure is meaningless without this context.
+  unsigned hardware_threads = std::thread::hardware_concurrency();
+  double static_wall_s = 0.0;      // 1 replica, no autoscaler
+  double autoscaled_wall_s = 0.0;  // min=1 max=3
+  size_t max_replicas_seen = 0;
+  int64_t scale_ups = 0;
+  int64_t scale_downs = 0;
+  size_t final_replicas = 0;
+  bool bitwise_ok = true;
+};
+
+double run_burst(serve::ScServer& server, int64_t burst,
+                 std::vector<Tensor>* inputs,
+                 std::vector<sc::InferenceResult>* results,
+                 size_t* max_seen) {
+  std::vector<std::future<sc::InferenceResult>> futures;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < burst; ++i) {
+    inputs->push_back(request_input(120000 + static_cast<uint64_t>(i)));
+    futures.push_back(server.submit(inputs->back().clone(),
+                                    {.client_id = static_cast<uint64_t>(i)}));
+  }
+  for (auto& f : futures) {
+    if (max_seen) *max_seen = std::max(*max_seen, server.num_workers());
+    results->push_back(f.get());
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+AutoscaleBench run_autoscale(core::MtlSplitModel* m0,
+                             core::MtlSplitModel* ref) {
+  AutoscaleBench out;
+  // Per-request service (no coalescing) on a single-lane runtime: each
+  // worker's kernels run serially, so capacity scales with replicas and
+  // the burst isolates what the autoscaler buys (with the default pool a
+  // lone replica already spreads every kernel across all cores).
+  runtime::set_num_threads(1);
+  out.burst = 256;
+  std::vector<Tensor> inputs_static;
+  std::vector<sc::InferenceResult> res_static;
+  {
+    sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+    serve::ScServer server({m0}, link, sc::jetson_nano(), sc::rtx3090_server(),
+                           {.batching = {.max_batch_size = 1,
+                                         .max_wait_us = 0}});
+    out.static_wall_s =
+        run_burst(server, out.burst, &inputs_static, &res_static, nullptr);
+    server.shutdown();
+  }
+  std::vector<Tensor> inputs_auto;
+  std::vector<sc::InferenceResult> res_auto;
+  {
+    sc::Channel link({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+    serve::ServeConfig cfg;
+    cfg.batching = {.max_batch_size = 1, .max_wait_us = 0};
+    cfg.autoscale = {.enabled = true,
+                     .min_replicas = 1,
+                     .max_replicas = 3,
+                     .scale_up_backlog = 4.0,
+                     .scale_down_backlog = 0.5,
+                     .interval_us = 5000,
+                     .hysteresis_ticks = 2,
+                     .make_replica = [] { return make_replica(77); }};
+    serve::ScServer server({m0}, link, sc::jetson_nano(), sc::rtx3090_server(),
+                           cfg);
+    out.autoscaled_wall_s = run_burst(server, out.burst, &inputs_auto,
+                                      &res_auto, &out.max_replicas_seen);
+    // Give the controller a moment to retire the burst capacity.
+    for (int t = 0; t < 400 && server.num_workers() > 1; ++t)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    out.final_replicas = server.num_workers();
+    server.shutdown();
+    const serve::ServeStats s = server.stats();
+    out.scale_ups = s.scale_ups;
+    out.scale_downs = s.scale_downs;
+  }
+  runtime::set_num_threads(runtime::default_num_threads());
+  // Autoscaled results (some served by minted replicas) must match the
+  // sequential reference bit for bit.
+  sc::Channel ref_ch({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  sc::ScDeployment ref_dep(*ref, ref_ch, sc::jetson_nano(),
+                           sc::rtx3090_server());
+  for (size_t i = 0; i < inputs_auto.size() && out.bitwise_ok; ++i) {
+    const sc::InferenceResult want = ref_dep.infer(inputs_auto[i]);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      if (!res_auto[i].logits[j].equals(want.logits[j]))
+        out.bitwise_ok = false;
+  }
+  return out;
+}
+
 /// Served outputs must match per-request sequential infer() bit for bit,
 /// whatever batches the dynamic batcher happened to form.
 bool bitwise_identity_check(core::MtlSplitModel& served_model,
@@ -324,6 +498,7 @@ bool bitwise_identity_check(core::MtlSplitModel& served_model,
 
 void write_json(const std::vector<CellResult>& cells,
                 const OverloadResult& ov, const FairnessResult& fair,
+                const DeadlineResult& dl, const AutoscaleBench& as,
                 bool bitwise_ok) {
   FILE* f = std::fopen("BENCH_SERVING.json", "w");
   if (!f) {
@@ -404,6 +579,35 @@ void write_json(const std::vector<CellResult>& cells,
                  i + 1 < fair.clients.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"deadlines\": {\n");
+  std::fprintf(f, "    \"offered_qps\": %.1f,\n", dl.offered_qps);
+  std::fprintf(f, "    \"ttl_ms\": %.1f,\n", dl.ttl_ms);
+  std::fprintf(f, "    \"no_ttl\": {\"completed\": %lld, \"p99_ms\": %.3f},\n",
+               static_cast<long long>(dl.completed_no_ttl), dl.p99_no_ttl_ms);
+  std::fprintf(f,
+               "    \"ttl\": {\"completed\": %lld, \"expired\": %lld, "
+               "\"p99_ms\": %.3f}\n",
+               static_cast<long long>(dl.completed_ttl),
+               static_cast<long long>(dl.expired_ttl), dl.p99_ttl_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"autoscale\": {\n");
+  std::fprintf(f, "    \"burst\": %lld,\n", static_cast<long long>(as.burst));
+  std::fprintf(f, "    \"hardware_threads\": %u,\n", as.hardware_threads);
+  std::fprintf(f, "    \"static_wall_s\": %.3f,\n", as.static_wall_s);
+  std::fprintf(f, "    \"autoscaled_wall_s\": %.3f,\n", as.autoscaled_wall_s);
+  std::fprintf(f, "    \"speedup\": %.2f,\n",
+               as.autoscaled_wall_s > 0.0
+                   ? as.static_wall_s / as.autoscaled_wall_s
+                   : 0.0);
+  std::fprintf(f, "    \"max_replicas_seen\": %zu,\n", as.max_replicas_seen);
+  std::fprintf(f, "    \"scale_ups\": %lld,\n",
+               static_cast<long long>(as.scale_ups));
+  std::fprintf(f, "    \"scale_downs\": %lld,\n",
+               static_cast<long long>(as.scale_downs));
+  std::fprintf(f, "    \"final_replicas\": %zu,\n", as.final_replicas);
+  std::fprintf(f, "    \"bitwise_identical_to_sequential\": %s\n",
+               as.bitwise_ok ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -480,11 +684,39 @@ int main() {
                 static_cast<long long>(c.completed),
                 static_cast<long long>(c.shed_or_rejected));
 
+  std::printf("\nDeadlines (1 replica, 2x saturation, ttl 30 ms):\n");
+  const DeadlineResult dl = run_deadlines(m0.get(), ov.saturation_qps);
+  std::printf("  no ttl   %5lld completed, p99 %8.2f ms (stale work served)\n",
+              static_cast<long long>(dl.completed_no_ttl), dl.p99_no_ttl_ms);
+  std::printf("  ttl 30ms %5lld completed, %lld expired pre-model, "
+              "p99 %8.2f ms\n",
+              static_cast<long long>(dl.completed_ttl),
+              static_cast<long long>(dl.expired_ttl), dl.p99_ttl_ms);
+
+  std::printf("\nAutoscale (burst 256, min 1 / max 3 replicas):\n");
+  const AutoscaleBench as = run_autoscale(m0.get(), ref.get());
+  std::printf("  static 1 replica   %7.3f s\n", as.static_wall_s);
+  std::printf("  autoscaled         %7.3f s (%.2fx), peak %zu replicas, "
+              "%lld up / %lld down, %zu at rest\n",
+              as.autoscaled_wall_s,
+              as.autoscaled_wall_s > 0.0
+                  ? as.static_wall_s / as.autoscaled_wall_s
+                  : 0.0,
+              as.max_replicas_seen, static_cast<long long>(as.scale_ups),
+              static_cast<long long>(as.scale_downs), as.final_replicas);
+  std::printf("  minted replicas bitwise identical: %s\n",
+              as.bitwise_ok ? "yes" : "NO — BUG");
+  if (as.hardware_threads <= 1)
+    std::printf("  (single-core host: replica parallelism cannot show a "
+                "wall-clock speedup here)\n");
+
   std::printf(
       "\nShape check: dynamic batching coalesces under load, Reject keeps\n"
       "the admitted-request tail bounded at 4x saturation, the DRR queue\n"
       "caps the flooder at its share while the victims complete theirs,\n"
-      "and every served logit is bit-identical to sequential infer().\n");
-  write_json(cells, ov, fair, bitwise_ok);
-  return bitwise_ok ? 0 : 1;
+      "deadlines shed stale work before it reaches the model, the\n"
+      "autoscaler absorbs the burst and retires its replicas, and every\n"
+      "served logit is bit-identical to sequential infer().\n");
+  write_json(cells, ov, fair, dl, as, bitwise_ok && as.bitwise_ok);
+  return bitwise_ok && as.bitwise_ok ? 0 : 1;
 }

@@ -8,6 +8,10 @@
 // window, and a streaming request receives its chunks one future at a
 // time. The point to take away: every logit — batched, prioritised or
 // streamed — is exactly what a lone sequential infer() would produce.
+//
+// The SLO lifecycle layer (request deadlines, tenant quotas, replica
+// autoscaling) is demonstrated separately in examples/serving_slo.cpp;
+// docs/serving.md is the operator guide to every knob used here.
 #include <cstdio>
 #include <thread>
 

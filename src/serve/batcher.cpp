@@ -10,14 +10,9 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchingPolicy policy)
             "DynamicBatcher: max_wait_us must be >= 0");
 }
 
-bool DynamicBatcher::next_batch(std::vector<Request>& out) {
-  out.clear();
-  Request first;
-  if (!queue_->pop(first)) return false;
+void DynamicBatcher::coalesce(std::vector<Request>& out) {
   const bool jump = policy_.high_priority_jumps &&
-                    first.priority == Priority::kHigh;
-  out.push_back(std::move(first));
-
+                    out.front().priority == Priority::kHigh;
   // A high-priority leader dispatches with what is already queued (a
   // deadline in the past makes pop_until a try-pop).
   const auto deadline =
@@ -28,6 +23,30 @@ bool DynamicBatcher::next_batch(std::vector<Request>& out) {
     if (!queue_->pop_until(r, deadline)) break;
     out.push_back(std::move(r));
   }
+}
+
+bool DynamicBatcher::next_batch(std::vector<Request>& out) {
+  out.clear();
+  Request first;
+  if (!queue_->pop(first)) return false;
+  out.push_back(std::move(first));
+  coalesce(out);
+  return true;
+}
+
+bool DynamicBatcher::next_batch_for(std::vector<Request>& out,
+                                    std::chrono::microseconds idle_wait) {
+  out.clear();
+  Request first;
+  if (!queue_->pop_until(first,
+                         std::chrono::steady_clock::now() + idle_wait)) {
+    // Timed out. Distinguish "nothing right now" from "never anything
+    // again": closed() never unsets and a closed queue admits nothing, so
+    // closed-and-empty is a stable exit condition.
+    return !(queue_->closed() && queue_->size() == 0);
+  }
+  out.push_back(std::move(first));
+  coalesce(out);
   return true;
 }
 

@@ -13,6 +13,11 @@
 // when high_priority_jumps is set a batch led by a kHigh request skips
 // the coalescing wait entirely — it dispatches with whatever is already
 // queued instead of idling out max_wait_us.
+//
+// next_batch_for is the bounded variant ScServer's workers use: it gives
+// up after an idle window with an empty batch instead of blocking
+// forever, so a worker can notice retirement (autoscaler scale-down) or
+// go steal from a backlogged sibling shard between waits.
 #pragma once
 
 #include <vector>
@@ -38,9 +43,18 @@ class DynamicBatcher {
   /// batch.
   bool next_batch(std::vector<Request>& out);
 
+  /// As next_batch, but waits at most @p idle_wait for the leading
+  /// request. Returns false only when the queue is closed and fully
+  /// drained; returns true with an empty @p out when the wait simply
+  /// timed out (the caller may poll again, steal elsewhere, or retire).
+  bool next_batch_for(std::vector<Request>& out,
+                      std::chrono::microseconds idle_wait);
+
   const BatchingPolicy& policy() const { return policy_; }
 
  private:
+  void coalesce(std::vector<Request>& out);  // fills after the leader
+
   RequestQueue* queue_;
   BatchingPolicy policy_;
 };

@@ -12,17 +12,26 @@
 // are served rows in quantum-sized proportions, and a client's own
 // requests still complete in submission order.
 //
-// Admission is governed by AdmissionConfig: when the queue (or the
-// request's priority class) is at capacity, Block waits for space (the
-// pre-existing backpressure behaviour), Reject settles the future
-// immediately with a typed RejectedError, and ShedOldest evicts the
-// oldest queued request of the lowest backlogged class at or below the
-// newcomer's priority — settling *its* future with RejectedError — to
-// admit the newcomer (when the entire backlog outranks the newcomer,
-// the newcomer is rejected instead: shedding never inverts priority).
-// Either way no submitter and no worker ever blocks unboundedly, and
-// every submitted request is settled exactly once (logits, server
-// error, or rejection).
+// Admission is a three-stage gate, applied in order:
+//
+//   1. Deadline — a request whose SubmitOptions deadline (or ttl) has
+//      already passed is settled immediately with DeadlineExceededError
+//      (phase kAdmission). Queued requests that expire while waiting are
+//      purged on pop (phase kQueue) — dead work never reaches a worker.
+//   2. Quota — per-tenant token buckets (QuotaSpec rate/burst, in rows)
+//      refuse a submission that exceeds its client's sustained rate with
+//      a typed ThrottledError carrying a retry-after estimate. Quotas sit
+//      *above* DRR: DRR divides the capacity the queue admitted, quotas
+//      bound what each tenant may ask for in the first place.
+//   3. Capacity — AdmissionConfig policy as before: Block waits for space
+//      (bounded by the request's deadline when it has one), Reject settles
+//      the future immediately with RejectedError, and ShedOldest evicts
+//      the oldest queued request of the lowest backlogged class at or
+//      below the newcomer's priority (shedding never inverts priority).
+//
+// Whatever the path, every submitted request is settled exactly once:
+// logits, a server error, RejectedError, ThrottledError, or
+// DeadlineExceededError.
 //
 // close() rejects new submissions while letting consumers drain what is
 // queued, which is how ScServer shuts down without dropping accepted work.
@@ -61,8 +70,50 @@ class RejectedError : public std::runtime_error {
   bool shed_;
 };
 
+/// Where in its lifecycle an expired request was caught.
+enum class ExpiryPhase : uint8_t {
+  kAdmission,  ///< deadline already past when submit() ran
+  kQueue,      ///< expired while queued; purged on pop
+  kDispatch    ///< expired in the batcher's coalescing window, pre-dispatch
+};
+
+/// Typed deadline failure delivered through the request's future. The
+/// request never reached the model; phase() says how far it got.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  DeadlineExceededError(const std::string& what, ExpiryPhase phase)
+      : std::runtime_error(what), phase_(phase) {}
+  ExpiryPhase phase() const { return phase_; }
+
+ private:
+  ExpiryPhase phase_;
+};
+
+/// Typed quota failure: the client's token bucket could not cover the
+/// request's row cost. retry_after_s() estimates when it could.
+class ThrottledError : public std::runtime_error {
+ public:
+  ThrottledError(const std::string& what, double retry_after_s)
+      : std::runtime_error(what), retry_after_s_(retry_after_s) {}
+  double retry_after_s() const { return retry_after_s_; }
+
+ private:
+  double retry_after_s_;
+};
+
 /// What to do with a submission that finds the queue at capacity.
 enum class AdmissionPolicy { kBlock, kReject, kShedOldest };
+
+/// Per-tenant token bucket: a client may hold at most @c burst rows of
+/// credit and earns @c rate rows per second. Each submission costs its
+/// row count. rate == 0 disables the quota entirely.
+struct QuotaSpec {
+  double rate = 0.0;  ///< rows refilled per second; 0 = unlimited
+  double burst = 1.0; ///< bucket capacity in rows (also the initial fill);
+                      ///< a request with more rows than burst is refused
+                      ///< permanently (ThrottledError with infinite
+                      ///< retry_after_s)
+};
 
 struct AdmissionConfig {
   AdmissionPolicy policy = AdmissionPolicy::kBlock;
@@ -73,14 +124,25 @@ struct AdmissionConfig {
   /// Rows of credit a client lane earns per DRR visit. Larger quanta
   /// trade fairness granularity for fewer cursor rotations.
   int64_t drr_quantum = 1;
+  /// Token-bucket quota applied to every client without an override.
+  QuotaSpec quota;
+  /// Per-tenant quota overrides, keyed by client_id.
+  std::unordered_map<uint64_t, QuotaSpec> client_quota;
 };
 
 /// Per-submission routing metadata.
 struct SubmitOptions {
   Priority priority = Priority::kNormal;
-  /// Fairness identity: requests sharing a client_id share one FIFO lane
-  /// and one DRR deficit. 0 is a perfectly valid (shared) identity.
+  /// Fairness identity: requests sharing a client_id share one FIFO lane,
+  /// one DRR deficit and one quota bucket. 0 is a valid (shared) identity.
   uint64_t client_id = 0;
+  /// Absolute end-to-end deadline; max() = none. Checked at admission, on
+  /// every pop, and again just before batch dispatch.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Relative deadline; when nonzero, deadline = now + ttl at submit()
+  /// (the tighter of the two wins if both are set).
+  std::chrono::microseconds ttl{0};
 };
 
 /// One in-flight client request: the input plus the promise(s) its logits
@@ -91,6 +153,8 @@ struct Request {
   Priority priority = Priority::kNormal;
   uint64_t client_id = 0;
   bool streaming = false;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   /// Settled exactly once when !streaming.
   std::promise<sc::InferenceResult> promise;
   /// One promise per sample row when streaming: chunk i is settled as the
@@ -99,7 +163,18 @@ struct Request {
   std::chrono::steady_clock::time_point enqueued_at;
 
   int64_t rows() const { return x.size(0); }
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return deadline <= now;
+  }
 };
+
+/// Settles every request in @p batch whose deadline has passed @p now with
+/// DeadlineExceededError (phase kDispatch) and removes it, preserving the
+/// order of the survivors. Returns how many expired. ScServer runs this on
+/// every coalesced batch right before dispatch, so a request that aged out
+/// in the batcher's wait window never reaches infer_batch.
+size_t expire_overdue(std::vector<Request>& batch,
+                      std::chrono::steady_clock::time_point now);
 
 class RequestQueue {
  public:
@@ -111,15 +186,16 @@ class RequestQueue {
 
   /// Enqueues @p x and returns the future its result arrives on. Throws
   /// std::runtime_error once the queue is closed, std::invalid_argument
-  /// for malformed input. Under Reject at capacity the returned future is
-  /// already settled with RejectedError; under ShedOldest the newcomer is
-  /// admitted and some older queued request's future gets RejectedError.
+  /// for malformed input. The returned future may already be settled:
+  /// DeadlineExceededError (deadline pre-expired), ThrottledError (quota),
+  /// or RejectedError (Reject at capacity). Under ShedOldest the newcomer
+  /// is admitted and some older queued request's future gets RejectedError.
   std::future<sc::InferenceResult> submit(Tensor x, SubmitOptions opts = {});
 
   /// Streaming submission: the request is served through the pipelined
   /// ScDeployment::infer_stream and each sample row's result arrives on
   /// its own future, in row order, as the pipeline emits it. Admission
-  /// rules are identical to submit(); rejection settles every chunk.
+  /// rules are identical to submit(); a refusal settles every chunk.
   std::vector<std::future<sc::InferenceResult>> submit_stream(
       Tensor x, SubmitOptions opts = {});
 
@@ -128,6 +204,8 @@ class RequestQueue {
 
   /// Pops the next request in priority/DRR order; blocks until one
   /// arrives or the queue is closed and empty (then returns false).
+  /// Requests that expired while queued are settled with
+  /// DeadlineExceededError (phase kQueue) and never returned.
   bool pop(Request& out);
 
   /// Pops one request if one is available before @p deadline; returns
@@ -144,6 +222,11 @@ class RequestQueue {
   uint64_t rejected() const;
   /// Admitted requests later evicted (ShedOldest policy).
   uint64_t shed() const;
+  /// Requests settled with DeadlineExceededError by this queue (admission
+  /// or on-pop purge; pre-dispatch expiry is counted by the server).
+  uint64_t expired() const;
+  /// Requests refused by a tenant quota (ThrottledError).
+  uint64_t throttled() const;
 
   const AdmissionConfig& admission() const { return cfg_; }
 
@@ -162,23 +245,47 @@ class RequestQueue {
     std::unordered_map<uint64_t, std::list<ClientLane>::iterator> index;
     size_t depth = 0;  // queued requests in this class
   };
+  /// Token-bucket state for one client_id.
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last;
+  };
 
-  void enqueue_or_reject(Request&& r);  // applies the admission policy
+  void enqueue_or_reject(Request&& r);  // applies the admission gate
   bool full_for(size_t cls) const;      // locked
   void shed_one(size_t cls);            // locked; evicts ShedOldest victim
+  const QuotaSpec& quota_for(uint64_t client_id) const;  // locked
+  /// Locked. Returns true when the quota admits r (tokens consumed,
+  /// *cost_consumed set); false with *retry_after_s filled when it
+  /// throttles (infinity when r's rows exceed the bucket's burst and the
+  /// refusal is permanent).
+  bool quota_admits(const Request& r,
+                    std::chrono::steady_clock::time_point now,
+                    double* retry_after_s, double* cost_consumed);
+  /// Locked. Returns tokens for a request that was refused after its
+  /// quota was charged — a tenant only pays for admitted requests.
+  void refund_quota(uint64_t client_id, double cost);
   void erase_lane(ClassState& cs, std::list<ClientLane>::iterator it);
-  bool take_next(Request& out);         // locked
+  /// Locked. Pops the next live request into @p out; moves requests that
+  /// expired while queued into @p expired (settle them after unlocking).
+  bool take_next(Request& out, std::vector<Request>& expired);
   static void settle_rejected(Request& r, bool shed);
+  static void settle_error(Request& r, std::exception_ptr err);
+  static void settle_expired_list(std::vector<Request>& expired,
+                                  ExpiryPhase phase);
 
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;  // queue non-empty or closed
   std::condition_variable space_cv_;  // space freed or closed
   std::array<ClassState, kNumPriorityClasses> classes_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
   size_t total_ = 0;
   AdmissionConfig cfg_;
   uint64_t next_id_ = 0;
   uint64_t rejected_ = 0;
   uint64_t shed_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t throttled_ = 0;
   bool closed_ = false;
 };
 

@@ -23,55 +23,84 @@ uint64_t splitmix64(uint64_t z) {
 ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
                    const sc::Channel& link, sc::DeviceProfile edge,
                    sc::DeviceProfile server, ServeConfig cfg)
-    : cfg_(cfg) {
+    : cfg_(std::move(cfg)), edge_(std::move(edge)), server_(std::move(server)) {
   check_arg(!replicas.empty(), "ScServer: need at least one model replica");
-  owned_channels_.reserve(replicas.size());
+  base_link_ = std::make_unique<sc::Channel>(link);
   std::vector<sc::Channel*> sessions;
   sessions.reserve(replicas.size());
+  owned_boot_sessions_.reserve(replicas.size());
   for (size_t w = 0; w < replicas.size(); ++w) {
-    owned_channels_.push_back(link.fork(w));
-    sessions.push_back(&owned_channels_[w]);
+    owned_boot_sessions_.push_back(
+        std::make_unique<sc::Channel>(link.fork(w)));
+    sessions.push_back(owned_boot_sessions_.back().get());
   }
-  start(replicas, std::move(sessions), std::move(edge), std::move(server));
+  next_session_ = replicas.size();
+  start(replicas, sessions);
 }
 
 ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
                    std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
                    sc::DeviceProfile server, ServeConfig cfg)
-    : cfg_(cfg) {
+    : cfg_(std::move(cfg)), edge_(std::move(edge)), server_(std::move(server)) {
   check_arg(!replicas.empty(), "ScServer: need at least one model replica");
   check_arg(sessions.size() == replicas.size(),
             "ScServer: need exactly one channel session per replica");
-  start(replicas, std::move(sessions), std::move(edge), std::move(server));
+  start(replicas, sessions);
 }
 
 void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
-                     std::vector<sc::Channel*> sessions,
-                     sc::DeviceProfile edge, sc::DeviceProfile server) {
+                     std::vector<sc::Channel*>& sessions) {
   check_arg(cfg_.batching.max_batch_size >= 1,
             "ScServer: max_batch_size must be >= 1");
+  check_arg(cfg_.idle_poll_us >= 1, "ScServer: idle_poll_us must be >= 1");
+  check_arg(cfg_.steal_min_backlog >= 1,
+            "ScServer: steal_min_backlog must be >= 1");
   const size_t n = replicas.size();
   const size_t per_shard =
       cfg_.replicas_per_shard == 0 ? n : cfg_.replicas_per_shard;
   check_arg(per_shard >= 1 && per_shard <= n,
             "ScServer: replicas_per_shard must be in [1, num_replicas]");
   const size_t num_shards = (n + per_shard - 1) / per_shard;
+  const AutoscaleConfig& as = cfg_.autoscale;
+  if (as.enabled) {
+    check_arg(base_link_ != nullptr,
+              "ScServer: autoscaling requires the channel-fork constructor "
+              "(injected sessions cannot be forked for minted replicas)");
+    check_arg(static_cast<bool>(as.make_replica),
+              "ScServer: autoscaling requires AutoscaleConfig::make_replica");
+    check_arg(as.min_replicas >= 1 && as.max_replicas >= as.min_replicas,
+              "ScServer: need 1 <= min_replicas <= max_replicas");
+    check_arg(per_shard <= as.max_replicas,
+              "ScServer: initial replicas per shard exceed max_replicas");
+    check_arg(as.interval_us >= 1000,
+              "ScServer: autoscale interval_us must be >= 1000");
+    check_arg(as.hysteresis_ticks >= 1,
+              "ScServer: hysteresis_ticks must be >= 1");
+    check_arg(as.scale_up_backlog > as.scale_down_backlog,
+              "ScServer: scale_up_backlog must exceed scale_down_backlog");
+  }
   for (size_t s = 0; s < num_shards; ++s)
     shards_.push_back(std::make_unique<Shard>(cfg_.admission));
+  up_ticks_.assign(num_shards, 0);
+  down_ticks_.assign(num_shards, 0);
+  prototype_ = replicas[0];
 
-  deployments_.reserve(n);
+  workers_.reserve(n);
   for (size_t w = 0; w < n; ++w) {
     check_arg(replicas[w] != nullptr, "ScServer: null model replica");
     check_arg(sessions[w] != nullptr, "ScServer: null channel session");
     replicas[w]->set_training(false);
-    deployments_.push_back(std::make_unique<sc::ScDeployment>(
-        *replicas[w], *sessions[w], edge, server, cfg_.deployment));
+    auto slot = std::make_unique<Worker>();
+    slot->shard = w / per_shard;
+    slot->deployment = std::make_unique<sc::ScDeployment>(
+        *replicas[w], *sessions[w], edge_, server_, cfg_.deployment);
+    workers_.push_back(std::move(slot));
   }
-  workers_.reserve(n);
-  for (size_t w = 0; w < n; ++w)
-    workers_.emplace_back([this, w, per_shard] {
-      worker_loop(w / per_shard, w);
-    });
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { worker_loop(*raw); });
+  }
+  if (as.enabled) controller_ = std::thread([this] { autoscale_loop(); });
 }
 
 ScServer::~ScServer() { shutdown(); }
@@ -108,8 +137,17 @@ std::vector<std::future<sc::InferenceResult>> ScServer::submit_stream(
 
 void ScServer::shutdown() {
   if (stopped_.exchange(true)) return;
+  {
+    // Fence against the controller's predicate check so the notify below
+    // cannot slip between its stopped_ read and its wait.
+    std::lock_guard<std::mutex> lk(scale_mu_);
+  }
+  scale_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
   for (auto& shard : shards_) shard->queue.close();
-  for (std::thread& t : workers_) t.join();
+  // The controller is joined: workers_ can no longer grow or unpark.
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
 }
 
 ServeStats ScServer::stats() const {
@@ -119,32 +157,107 @@ ServeStats ScServer::stats() const {
         out.rejected, static_cast<int64_t>(shard->queue.rejected()));
     out.shed =
         saturating_add(out.shed, static_cast<int64_t>(shard->queue.shed()));
+    out.expired = saturating_add(
+        out.expired, static_cast<int64_t>(shard->queue.expired()));
+    out.throttled = saturating_add(
+        out.throttled, static_cast<int64_t>(shard->queue.throttled()));
   }
+  std::lock_guard<std::mutex> lk(scale_mu_);
+  out.shard_replicas.assign(shards_.size(), 0);
+  for (const auto& w : workers_)
+    if (!w->parked && !w->retired.load(std::memory_order_acquire))
+      ++out.shard_replicas[w->shard];
   return out;
 }
 
-void ScServer::worker_loop(size_t shard, size_t replica) {
-  Shard& sh = *shards_[shard];
-  DynamicBatcher batcher(sh.queue, cfg_.batching);
-  std::vector<Request> batch;
-  while (batcher.next_batch(batch)) {
-    sh.busy.fetch_add(static_cast<int64_t>(batch.size()),
-                      std::memory_order_relaxed);
-    // Streaming requests run the pipelined path one by one; everything
-    // else rides the coalesced infer_batch.
-    std::vector<Request> plain;
-    std::vector<Request> streams;
-    plain.reserve(batch.size());
-    for (Request& r : batch)
-      (r.streaming ? streams : plain).push_back(std::move(r));
-    if (!plain.empty()) serve_plain(replica, plain);
-    for (Request& r : streams) serve_stream_request(replica, r);
-    sh.busy.fetch_sub(static_cast<int64_t>(batch.size()),
-                      std::memory_order_relaxed);
-  }
+size_t ScServer::num_workers() const {
+  std::lock_guard<std::mutex> lk(scale_mu_);
+  size_t n = 0;
+  for (const auto& w : workers_)
+    if (!w->parked && !w->retired.load(std::memory_order_acquire)) ++n;
+  return n;
 }
 
-void ScServer::serve_plain(size_t replica, std::vector<Request>& batch) {
+void ScServer::worker_loop(Worker& w) {
+  Shard& own = *shards_[w.shard];
+  DynamicBatcher batcher(own.queue, cfg_.batching);
+  std::vector<Request> batch;
+  const auto idle = std::chrono::microseconds(cfg_.idle_poll_us);
+  // The bounded wait only pays for itself when an idle wake can lead to
+  // an action: noticing retirement (autoscaler on) or stealing (some
+  // sibling to rob). Otherwise block on the own queue — an idle worker
+  // then costs nothing, as before this layer existed.
+  const bool idle_can_act =
+      cfg_.autoscale.enabled ||
+      (cfg_.work_stealing && shards_.size() > 1);
+  while (!w.retired.load(std::memory_order_acquire)) {
+    const bool alive = idle_can_act ? batcher.next_batch_for(batch, idle)
+                                    : batcher.next_batch(batch);
+    if (!batch.empty()) {
+      serve_batch(w, own, batch);
+      continue;
+    }
+    if (!alive) break;  // own queue closed and fully drained
+    if (cfg_.work_stealing && try_steal(w, batch)) {
+      stats_.on_stolen(static_cast<int64_t>(batch.size()));
+      serve_batch(w, own, batch);
+    }
+  }
+  // Park the slot: the autoscaler may resurrect it with a fresh thread.
+  std::lock_guard<std::mutex> lk(scale_mu_);
+  w.parked = true;
+}
+
+bool ScServer::try_steal(const Worker& w, std::vector<Request>& out) {
+  out.clear();
+  if (shards_.size() < 2) return false;
+  // Victim: the sibling with the deepest backlog, if any clears the bar.
+  size_t victim = shards_.size();
+  size_t best_depth = static_cast<size_t>(cfg_.steal_min_backlog) - 1;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s == w.shard) continue;
+    const size_t depth = shards_[s]->queue.size();
+    if (depth > best_depth) {
+      best_depth = depth;
+      victim = s;
+    }
+  }
+  if (victim == shards_.size()) return false;
+  // Try-pop up to one batch. pop respects priority/DRR order and is the
+  // only way a request leaves a queue, so a stolen request is settled
+  // exactly once like any other.
+  RequestQueue& q = shards_[victim]->queue;
+  const auto asap = std::chrono::steady_clock::now();
+  Request r;
+  while (static_cast<int64_t>(out.size()) < cfg_.batching.max_batch_size &&
+         q.pop_until(r, asap))
+    out.push_back(std::move(r));
+  return !out.empty();
+}
+
+void ScServer::serve_batch(Worker& w, Shard& sh, std::vector<Request>& batch) {
+  // Last deadline gate: requests that aged out in the coalescing window
+  // settle with DeadlineExceededError and never reach the model.
+  const size_t dead =
+      expire_overdue(batch, std::chrono::steady_clock::now());
+  if (dead > 0) stats_.on_expired(static_cast<int64_t>(dead));
+  if (batch.empty()) return;
+  sh.busy.fetch_add(static_cast<int64_t>(batch.size()),
+                    std::memory_order_relaxed);
+  // Streaming requests run the pipelined path one by one; everything
+  // else rides the coalesced infer_batch.
+  std::vector<Request> plain;
+  std::vector<Request> streams;
+  plain.reserve(batch.size());
+  for (Request& r : batch)
+    (r.streaming ? streams : plain).push_back(std::move(r));
+  if (!plain.empty()) serve_plain(w, plain);
+  for (Request& r : streams) serve_stream_request(w, r);
+  sh.busy.fetch_sub(static_cast<int64_t>(batch.size()),
+                    std::memory_order_relaxed);
+}
+
+void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
   // Row r of the server batch belongs to batch[owner_of_row[r]]; a
   // multi-sample request owns a run of consecutive rows.
   std::vector<int64_t> rows_of;
@@ -158,7 +271,7 @@ void ScServer::serve_plain(size_t replica, std::vector<Request>& batch) {
   size_t settled = 0;      // requests whose promise has been fulfilled
   bool counted = false;    // stats_.on_batch already recorded this batch
   try {
-    sc::BatchResult br = deployments_[replica]->infer_batch(
+    sc::BatchResult br = w.deployment->infer_batch(
         parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
     stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes);
     counted = true;
@@ -219,7 +332,7 @@ void ScServer::serve_plain(size_t replica, std::vector<Request>& batch) {
   }
 }
 
-void ScServer::serve_stream_request(size_t replica, Request& r) {
+void ScServer::serve_stream_request(Worker& w, Request& r) {
   const auto rows = static_cast<size_t>(r.rows());
   std::vector<char> emitted;
   int64_t wire = 0;
@@ -238,7 +351,7 @@ void ScServer::serve_stream_request(size_t replica, Request& r) {
         items.push_back(ops::slice_batch(r.x, static_cast<int64_t>(i),
                                          static_cast<int64_t>(i) + 1));
     }
-    (void)deployments_[replica]->infer_stream(
+    (void)w.deployment->infer_stream(
         items, [&](size_t i, sc::InferenceResult& item) {
           wire += item.latency.wire_bytes;
           r.chunk_promises[i].set_value(std::move(item));
@@ -256,6 +369,125 @@ void ScServer::serve_stream_request(size_t replica, Request& r) {
   const auto now = std::chrono::steady_clock::now();
   stats_.on_batch(1, wire);
   stats_.on_request(seconds_between(r.enqueued_at, now), ok);
+}
+
+// ----------------------------------------------------------- autoscaler
+
+size_t ScServer::active_workers_locked(size_t shard) const {
+  size_t n = 0;
+  for (const auto& w : workers_)
+    if (w->shard == shard && !w->parked &&
+        !w->retired.load(std::memory_order_acquire))
+      ++n;
+  return n;
+}
+
+void ScServer::scale_up_locked(size_t shard) {
+  // Resurrect a parked slot first: its replica and channel session are
+  // already weight-identical (weights are immutable for the server's
+  // lifetime), so unparking costs one thread spawn.
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    if (w.shard == shard && w.parked) {
+      if (w.thread.joinable()) w.thread.join();
+      w.parked = false;
+      w.retired.store(false, std::memory_order_release);
+      Worker* raw = &w;
+      w.thread = std::thread([this, raw] { worker_loop(*raw); });
+      stats_.on_scale(true);
+      return;
+    }
+  }
+  // Mint a fresh replica: structurally-identical model from the factory,
+  // weights copied bitwise from replica 0 (eval-mode forward never writes
+  // parameters or buffers, so copying from a serving prototype is safe),
+  // and a forked channel session of its own.
+  auto model = cfg_.autoscale.make_replica();
+  check_arg(model != nullptr,
+            "ScServer: AutoscaleConfig::make_replica returned null");
+  model->set_training(false);
+  core::copy_model_state(*model, *prototype_);
+  auto w = std::make_unique<Worker>();
+  w->shard = shard;
+  w->owned_session =
+      std::make_unique<sc::Channel>(base_link_->fork(next_session_++));
+  w->minted_model = std::move(model);
+  w->deployment = std::make_unique<sc::ScDeployment>(
+      *w->minted_model, *w->owned_session, edge_, server_, cfg_.deployment);
+  Worker* raw = w.get();
+  raw->thread = std::thread([this, raw] { worker_loop(*raw); });
+  workers_.push_back(std::move(w));
+  stats_.on_scale(true);
+}
+
+void ScServer::scale_down_locked(size_t shard) {
+  // Retire the most recently added active worker of the shard; it
+  // finishes its current batch, stops popping, and parks.
+  for (size_t i = workers_.size(); i-- > 0;) {
+    Worker& w = *workers_[i];
+    if (w.shard == shard && !w.parked &&
+        !w.retired.load(std::memory_order_acquire)) {
+      w.retired.store(true, std::memory_order_release);
+      stats_.on_scale(false);
+      return;
+    }
+  }
+}
+
+void ScServer::try_scale_up(size_t shard) {
+  // The controller thread must survive a failed scale event: minting can
+  // throw (make_replica under memory pressure — exactly when scale-up
+  // triggers — or a structurally-mismatched factory model). An escaped
+  // exception here would std::terminate the whole process; instead the
+  // event is dropped and the next tick retries.
+  try {
+    scale_up_locked(shard);
+  } catch (...) {
+    up_ticks_[shard] = 0;
+  }
+}
+
+void ScServer::autoscale_loop() {
+  const AutoscaleConfig& as = cfg_.autoscale;
+  std::unique_lock<std::mutex> lk(scale_mu_);
+  while (!stopped_.load(std::memory_order_acquire)) {
+    scale_cv_.wait_for(lk, std::chrono::microseconds(as.interval_us),
+                       [this] {
+                         return stopped_.load(std::memory_order_acquire);
+                       });
+    if (stopped_.load(std::memory_order_acquire)) break;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t active = active_workers_locked(s);
+      if (active < as.min_replicas) {
+        // Below the floor (initial deployment smaller than min, or a
+        // retirement raced a burst): converge without hysteresis.
+        try_scale_up(s);
+        continue;
+      }
+      const double backlog =
+          static_cast<double>(shards_[s]->queue.size()) +
+          static_cast<double>(
+              shards_[s]->busy.load(std::memory_order_relaxed));
+      const double per_replica = backlog / static_cast<double>(active);
+      if (per_replica >= as.scale_up_backlog && active < as.max_replicas) {
+        down_ticks_[s] = 0;
+        if (++up_ticks_[s] >= as.hysteresis_ticks) {
+          up_ticks_[s] = 0;
+          try_scale_up(s);
+        }
+      } else if (per_replica <= as.scale_down_backlog &&
+                 active > as.min_replicas) {
+        up_ticks_[s] = 0;
+        if (++down_ticks_[s] >= as.hysteresis_ticks) {
+          down_ticks_[s] = 0;
+          scale_down_locked(s);
+        }
+      } else {
+        up_ticks_[s] = 0;
+        down_ticks_[s] = 0;
+      }
+    }
+  }
 }
 
 }  // namespace mtlsplit::serve

@@ -6,11 +6,12 @@
 //        '------ future<InferenceResult> <---- scatter per-task logits --'
 //
 // The replica set is partitioned into shards: each shard owns one
-// RequestQueue (with its own admission control and DRR fairness state)
-// and one worker per replica assigned to it. A sharding router assigns
-// every submission to a shard — kHashClient pins a client to a shard
-// (session affinity, deterministic placement), kLeastLoaded picks the
-// shard with the fewest outstanding requests (queued + in service).
+// RequestQueue (with its own admission control, tenant quotas and DRR
+// fairness state) and one worker per replica assigned to it. A sharding
+// router assigns every submission to a shard — kHashClient pins a client
+// to a shard (session affinity, deterministic placement), kLeastLoaded
+// picks the shard with the fewest outstanding requests (queued + in
+// service).
 //
 // Each worker owns one model replica (identical weights, see
 // core::copy_model_state), one channel session and one ScDeployment, so
@@ -22,9 +23,28 @@
 // whatever batch it rode in. Streaming requests (submit_stream) run the
 // three-stage infer_stream pipeline instead, settling one chunk future
 // per sample row as the server stage emits it.
+//
+// Lifecycle layer (DESIGN.md §8):
+//  * Deadlines — a coalesced batch is filtered right before dispatch;
+//    requests that aged out in the wait window settle with
+//    DeadlineExceededError (phase kDispatch) and never reach the model.
+//  * Work stealing — a worker whose own queue stays empty for an idle
+//    poll pulls up to a batch from the most-backlogged sibling shard
+//    (kLeastLoaded routing misestimates under bursty arrivals; stealing
+//    repairs the placement at execution time). Popping is the only way a
+//    request leaves a queue, so exactly-once settlement and per-class
+//    priority order are preserved by construction.
+//  * Autoscaling — an optional background controller grows and shrinks
+//    each shard's worker pool between min/max replicas from the shard's
+//    backlog-per-replica signal, with consecutive-tick hysteresis. New
+//    replicas are minted from AutoscaleConfig::make_replica +
+//    core::copy_model_state(replica 0) + Channel::fork; retired workers
+//    park their replica and are resurrected cheaply on the next growth.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <thread>
 
@@ -39,14 +59,41 @@ enum class ShardingPolicy {
   kHashClient    ///< splitmix64(client_id) % num_shards — session affinity
 };
 
+/// Replica autoscaling (per shard). Disabled by default; when enabled the
+/// server runs one controller thread that samples every shard's backlog
+/// each interval and adds/retires workers under hysteresis.
+struct AutoscaleConfig {
+  bool enabled = false;
+  size_t min_replicas = 1;  ///< lower bound on active workers per shard
+  size_t max_replicas = 4;  ///< upper bound on active workers per shard
+  /// Scale up when (queued + in-service) / active_replicas stays at or
+  /// above this for hysteresis_ticks consecutive samples.
+  double scale_up_backlog = 4.0;
+  /// Scale down when the same signal stays at or below this.
+  double scale_down_backlog = 0.5;
+  int64_t interval_us = 20000;  ///< controller sampling period
+  int hysteresis_ticks = 2;     ///< consecutive samples before acting
+  /// Factory for a structurally-identical model (weights are overwritten
+  /// via core::copy_model_state from replica 0). Required when enabled.
+  std::function<std::unique_ptr<core::MtlSplitModel>()> make_replica;
+};
+
 struct ServeConfig {
   BatchingPolicy batching;
   /// Admission control applied per shard queue (policy, capacity,
-  /// per-class depth limits, DRR quantum).
+  /// per-class depth limits, DRR quantum, tenant quotas).
   AdmissionConfig admission;
   /// Replicas grouped per shard; 0 = one shard holding every replica.
   size_t replicas_per_shard = 0;
   ShardingPolicy sharding = ShardingPolicy::kLeastLoaded;
+  /// Idle workers pull from the most-backlogged sibling shard queue.
+  bool work_stealing = true;
+  /// A sibling queue must hold at least this many requests to be robbed.
+  int64_t steal_min_backlog = 1;
+  /// How long a worker waits on its own empty queue before it checks for
+  /// retirement and (if enabled) tries to steal.
+  int64_t idle_poll_us = 1000;
+  AutoscaleConfig autoscale;
   /// Z_b wire encoding, as in ScDeployment.
   sc::ScDeploymentConfig deployment;
 };
@@ -56,7 +103,8 @@ class ScServer {
   /// Starts one server worker per replica. Replicas must be structurally
   /// identical and hold identical weights (core::copy_model_state); they
   /// are switched to inference mode here. Each worker forks its own
-  /// channel session from @p link.
+  /// channel session from @p link. With autoscaling enabled, replica 0 is
+  /// the weight source for minted replicas and must outlive the server.
   ScServer(std::vector<core::MtlSplitModel*> replicas, const sc::Channel& link,
            sc::DeviceProfile edge, sc::DeviceProfile server,
            ServeConfig cfg = {});
@@ -64,7 +112,8 @@ class ScServer {
   /// Session-injection variant: one caller-owned channel session per
   /// replica (e.g. sc::FaultInjectChannel for fault drills). Sessions
   /// must outlive the server and must not be shared between replicas
-  /// (Channel is not thread-safe).
+  /// (Channel is not thread-safe). Autoscaling is unavailable here — the
+  /// server has no base link to fork new sessions from.
   ScServer(std::vector<core::MtlSplitModel*> replicas,
            std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
            sc::DeviceProfile server, ServeConfig cfg = {});
@@ -75,9 +124,11 @@ class ScServer {
 
   /// Enqueues one request ([B, C, H, W], B >= 1; a client-side batch is
   /// served as one request) on the shard the router picks. Admission
-  /// follows cfg.admission: Block exerts backpressure, Reject/ShedOldest
-  /// deliver RejectedError through a future instead of ever blocking.
-  /// Throws std::runtime_error after shutdown().
+  /// follows cfg.admission: deadline and quota refusals deliver
+  /// DeadlineExceededError / ThrottledError through the future; at
+  /// capacity, Block exerts backpressure while Reject/ShedOldest deliver
+  /// RejectedError instead of ever blocking. Throws std::runtime_error
+  /// after shutdown().
   std::future<sc::InferenceResult> submit(Tensor x, SubmitOptions opts = {});
 
   /// Streaming request: each sample row of @p x gets its own future,
@@ -85,15 +136,18 @@ class ScServer {
   std::vector<std::future<sc::InferenceResult>> submit_stream(
       Tensor x, SubmitOptions opts = {});
 
-  /// Stops intake, drains every accepted request, joins the workers.
-  /// Idempotent.
+  /// Stops the autoscaler and intake, drains every accepted request,
+  /// joins the workers. Idempotent.
   void shutdown();
 
-  /// Statistics snapshot (including per-shard rejected/shed tallies);
-  /// final once shutdown() returned.
+  /// Statistics snapshot (including per-shard rejected/shed/expired/
+  /// throttled tallies and the replica census); final once shutdown()
+  /// returned.
   ServeStats stats() const;
 
-  size_t num_workers() const { return workers_.size(); }
+  /// Active (non-retired) workers across all shards. Moves with the
+  /// autoscaler while it runs.
+  size_t num_workers() const;
   size_t num_shards() const { return shards_.size(); }
   const BatchingPolicy& batching() const { return cfg_.batching; }
 
@@ -103,21 +157,50 @@ class ScServer {
     std::atomic<int64_t> busy{0};  ///< popped, not yet settled
     explicit Shard(const AdmissionConfig& cfg) : queue(cfg) {}
   };
+  /// One worker slot: replica + channel session + deployment + thread.
+  /// Slots are created at start() or minted by the autoscaler; a retired
+  /// slot parks (thread exits, deployment kept) and may be resurrected.
+  struct Worker {
+    size_t shard = 0;
+    std::unique_ptr<core::MtlSplitModel> minted_model;  // autoscaler-owned
+    std::unique_ptr<sc::Channel> owned_session;
+    std::unique_ptr<sc::ScDeployment> deployment;
+    std::atomic<bool> retired{false};
+    bool parked = false;  // thread has exited; guarded by scale_mu_
+    std::thread thread;
+  };
 
   void start(std::vector<core::MtlSplitModel*>& replicas,
-             std::vector<sc::Channel*> sessions, sc::DeviceProfile edge,
-             sc::DeviceProfile server);
+             std::vector<sc::Channel*>& sessions);
   size_t route(uint64_t client_id) const;
-  void worker_loop(size_t shard, size_t replica);
-  void serve_plain(size_t replica, std::vector<Request>& batch);
-  void serve_stream_request(size_t replica, Request& r);
+  void worker_loop(Worker& w);
+  void serve_batch(Worker& w, Shard& sh, std::vector<Request>& batch);
+  void serve_plain(Worker& w, std::vector<Request>& batch);
+  void serve_stream_request(Worker& w, Request& r);
+  bool try_steal(const Worker& w, std::vector<Request>& out);
+
+  void autoscale_loop();
+  size_t active_workers_locked(size_t shard) const;
+  void try_scale_up(size_t shard);  // locked; swallows mint failures
+  void scale_up_locked(size_t shard);
+  void scale_down_locked(size_t shard);
 
   ServeConfig cfg_;
-  std::vector<sc::Channel> owned_channels_;  // fork path; one per worker
-  std::vector<std::unique_ptr<sc::ScDeployment>> deployments_;
+  sc::DeviceProfile edge_, server_;
+  std::unique_ptr<sc::Channel> base_link_;  // fork source; null if injected
+  /// Sessions forked at construction for the initial workers (fork-path
+  /// constructor only; unique_ptr keeps addresses stable for deployments).
+  std::vector<std::unique_ptr<sc::Channel>> owned_boot_sessions_;
+  core::MtlSplitModel* prototype_ = nullptr;  // weight source for minting
+  uint64_t next_session_ = 0;                 // fork seed sequence
   std::vector<std::unique_ptr<Shard>> shards_;
   StatsCollector stats_;
-  std::vector<std::thread> workers_;
+  /// Guards workers_ (slot creation/park/unpark) against the autoscaler.
+  mutable std::mutex scale_mu_;
+  std::condition_variable scale_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<int> up_ticks_, down_ticks_;  // controller hysteresis state
+  std::thread controller_;
   std::atomic<bool> stopped_{false};
 };
 

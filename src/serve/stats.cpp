@@ -64,6 +64,24 @@ void StatsCollector::on_request(double e2e_latency_s, bool ok) {
   last_done_ = std::chrono::steady_clock::now();
 }
 
+void StatsCollector::on_expired(int64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.expired = saturating_add(stats_.expired, n);
+}
+
+void StatsCollector::on_stolen(int64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.stolen = saturating_add(stats_.stolen, n);
+}
+
+void StatsCollector::on_scale(bool up) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (up)
+    stats_.scale_ups = saturating_add(stats_.scale_ups, 1);
+  else
+    stats_.scale_downs = saturating_add(stats_.scale_downs, 1);
+}
+
 ServeStats StatsCollector::snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   ServeStats out = stats_;

@@ -1,6 +1,8 @@
 // Serving statistics: throughput, end-to-end latency percentiles, the
 // batch-size histogram (did dynamic batching actually coalesce?), wire
-// traffic, and admission-control outcomes (rejected / shed). A thread-safe
+// traffic, admission outcomes (rejected / shed / expired / throttled),
+// and lifecycle counters (work-steal pulls, autoscale events, per-shard
+// replica counts). A thread-safe
 // collector accumulates from the worker pool; a plain-value ServeStats
 // snapshot is what callers and BENCH_SERVING.json consume.
 //
@@ -40,8 +42,15 @@ struct ServeStats {
   int64_t failed = 0;     ///< requests whose future received an exception
   int64_t rejected = 0;   ///< requests refused at admission (Reject policy)
   int64_t shed = 0;       ///< queued requests evicted (ShedOldest policy)
+  int64_t expired = 0;    ///< requests settled with DeadlineExceededError
+  int64_t throttled = 0;  ///< requests refused by a tenant quota
+  int64_t stolen = 0;     ///< requests served by a sibling shard's worker
+  int64_t scale_ups = 0;   ///< autoscaler replica additions
+  int64_t scale_downs = 0; ///< autoscaler replica retirements
   int64_t batches = 0;    ///< server batches executed
   int64_t wire_bytes = 0; ///< total Z_b bytes that crossed the link
+  /// Active replicas per shard at snapshot time (autoscaler view).
+  std::vector<int64_t> shard_replicas;
   /// Wall-clock from the first accepted request to the last completion.
   double wall_s = 0.0;
   /// batch_hist[b] = number of server batches that coalesced b requests;
@@ -67,10 +76,18 @@ class StatsCollector {
   void on_submit();
   void on_batch(int64_t batch_size, int64_t wire_bytes);
   void on_request(double e2e_latency_s, bool ok);
-  /// Note: rejected/shed are tallied by the RequestQueue that refused or
-  /// evicted the request; ScServer::stats() merges those per-shard
-  /// counters into the snapshot. The collector itself never counts them
-  /// (a second tally here would double-count).
+  /// Requests that aged out between pop and dispatch (ExpiryPhase
+  /// kDispatch) — admission/queue expiries are tallied by the queue.
+  void on_expired(int64_t n);
+  /// Requests a worker pulled from a sibling shard's queue.
+  void on_stolen(int64_t n);
+  /// One autoscaler event: a replica added (up) or retired (!up).
+  void on_scale(bool up);
+  /// Note: rejected/shed/throttled and admission/queue expiries are
+  /// tallied by the RequestQueue that refused or evicted the request;
+  /// ScServer::stats() merges those per-shard counters into the snapshot.
+  /// The collector itself never counts them (a second tally here would
+  /// double-count).
   ServeStats snapshot() const;
 
  private:

@@ -1,0 +1,532 @@
+// SLO lifecycle layer of the serving stack (DESIGN.md §8): request
+// deadlines (admission / on-pop / pre-dispatch expiry, each settling
+// exactly once), per-tenant token-bucket quotas above DRR, replica
+// autoscaling between min/max with hysteresis, and cross-shard work
+// stealing — all while served logits stay bitwise identical to
+// sequential infer().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+
+#include "mtl/model_factory.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using namespace std::chrono_literals;
+
+Tensor tiny_input(int64_t rows = 1) {
+  return Tensor({rows, 1, 2, 2}, 0.25f);
+}
+
+sc::InferenceResult dummy_result() {
+  sc::InferenceResult r;
+  r.logits.push_back(Tensor({1, 2}, 1.0f));
+  return r;
+}
+
+/// Classifies a settled future: 0 = value, 1 = RejectedError (rejected),
+/// 2 = RejectedError (shed), 3 = ThrottledError, 4/5/6 =
+/// DeadlineExceededError at admission/queue/dispatch, 7 = other error.
+/// get() throwing future_error (double settle) fails the test.
+int settle_kind(std::future<sc::InferenceResult>& f) {
+  try {
+    (void)f.get();
+    return 0;
+  } catch (const serve::RejectedError& e) {
+    return e.shed() ? 2 : 1;
+  } catch (const serve::ThrottledError&) {
+    return 3;
+  } catch (const serve::DeadlineExceededError& e) {
+    switch (e.phase()) {
+      case serve::ExpiryPhase::kAdmission: return 4;
+      case serve::ExpiryPhase::kQueue: return 5;
+      case serve::ExpiryPhase::kDispatch: return 6;
+    }
+    return 7;
+  } catch (const std::future_error& e) {
+    ADD_FAILURE() << "future_error: settlement contract violated: "
+                  << e.what();
+    return 7;
+  } catch (...) {
+    return 7;
+  }
+}
+
+// ------------------------------------------------------------- deadlines
+
+TEST(Deadline, PreExpiredSettlesAtAdmission) {
+  serve::RequestQueue q;
+  auto f = q.submit(tiny_input(),
+                    {.deadline = std::chrono::steady_clock::now() - 1ms});
+  EXPECT_EQ(settle_kind(f), 4);  // kAdmission
+  EXPECT_EQ(q.expired(), 1u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.accepted(), 0u);  // never occupied a queue slot
+}
+
+TEST(Deadline, QueuedRequestExpiresOnPop) {
+  serve::RequestQueue q;
+  auto f_dead = q.submit(tiny_input(), {.ttl = 1ms});
+  auto f_live = q.submit(tiny_input());
+  std::this_thread::sleep_for(15ms);
+  serve::Request r;
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(settle_kind(f_dead), 5);  // kQueue: purged before service
+  r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f_live), 0);
+  EXPECT_EQ(q.expired(), 1u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Deadline, FullyExpiredBacklogDrainsWithoutServingAnything) {
+  serve::RequestQueue q;
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (int i = 0; i < 3; ++i)
+    futs.push_back(q.submit(tiny_input(), {.ttl = 1ms}));
+  std::this_thread::sleep_for(15ms);
+  serve::Request r;
+  EXPECT_FALSE(q.pop_until(r, std::chrono::steady_clock::now() + 5ms));
+  for (auto& f : futs) EXPECT_EQ(settle_kind(f), 5);
+  EXPECT_EQ(q.expired(), 3u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Deadline, BlockedSubmitterExpiresInsteadOfWaitingForever) {
+  serve::RequestQueue q(serve::AdmissionConfig{
+      .policy = serve::AdmissionPolicy::kBlock, .capacity = 1});
+  auto f_fill = q.submit(tiny_input());
+  // The queue is full and nobody pops: the bounded wait must end at the
+  // request's own deadline, not block forever.
+  auto f = q.submit(tiny_input(), {.ttl = 30ms});
+  EXPECT_EQ(settle_kind(f), 4);  // kAdmission: never admitted
+  EXPECT_EQ(q.expired(), 1u);
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f_fill), 0);
+}
+
+TEST(Deadline, StreamExpirySettlesEveryChunkFuture) {
+  serve::RequestQueue q;
+  auto chunks = q.submit_stream(
+      tiny_input(3), {.deadline = std::chrono::steady_clock::now() - 1ms});
+  ASSERT_EQ(chunks.size(), 3u);
+  for (auto& c : chunks) EXPECT_EQ(settle_kind(c), 4);
+  EXPECT_EQ(q.expired(), 1u);  // one request, however many chunks
+}
+
+TEST(Deadline, ExpireOverdueFiltersOnlyDeadRequestsPreservingOrder) {
+  // The pre-dispatch gate, exercised deterministically: three hand-built
+  // requests, the middle one dead.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<serve::Request> batch(3);
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].id = i;
+    batch[i].x = tiny_input();
+    batch[i].deadline = i == 1
+                            ? now - 1ms
+                            : std::chrono::steady_clock::time_point::max();
+    futs.push_back(batch[i].promise.get_future());
+  }
+  EXPECT_EQ(serve::expire_overdue(batch, now), 1u);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(batch[1].id, 2u);  // survivor order preserved
+  EXPECT_EQ(settle_kind(futs[1]), 6);  // kDispatch
+  for (size_t i : {0u, 2u}) {
+    batch[i == 0 ? 0 : 1].promise.set_value(dummy_result());
+    EXPECT_EQ(settle_kind(futs[i]), 0);
+  }
+}
+
+// ---------------------------------------------------------------- quotas
+
+TEST(Quota, BurstBoundsBackToBackSubmissions) {
+  serve::AdmissionConfig cfg;
+  cfg.client_quota[7] = {.rate = 0.001, .burst = 2.0};  // ~never refills
+  serve::RequestQueue q(cfg);
+  auto f1 = q.submit(tiny_input(), {.client_id = 7});
+  auto f2 = q.submit(tiny_input(), {.client_id = 7});
+  auto f3 = q.submit(tiny_input(), {.client_id = 7});  // bucket empty
+  auto f_other = q.submit(tiny_input(), {.client_id = 8});  // unlimited
+  EXPECT_EQ(settle_kind(f3), 3);
+  EXPECT_EQ(q.throttled(), 1u);
+  EXPECT_EQ(q.size(), 3u);
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f1), 0);
+  EXPECT_EQ(settle_kind(f2), 0);
+  EXPECT_EQ(settle_kind(f_other), 0);
+}
+
+TEST(Quota, CostIsRowsAndRetryAfterIsEstimated) {
+  serve::AdmissionConfig cfg;
+  cfg.client_quota[1] = {.rate = 1.0, .burst = 4.0};
+  serve::RequestQueue q(cfg);
+  auto f1 = q.submit(tiny_input(4), {.client_id = 1});  // drains the bucket
+  auto f2 = q.submit(tiny_input(4), {.client_id = 1});
+  try {
+    (void)f2.get();
+    FAIL() << "second 4-row submission should have been throttled";
+  } catch (const serve::ThrottledError& e) {
+    // ~4 rows short at 1 row/s: the estimate is close to 4 seconds.
+    EXPECT_GT(e.retry_after_s(), 3.0);
+    EXPECT_LT(e.retry_after_s(), 5.0);
+  }
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f1), 0);
+}
+
+TEST(Quota, BucketRefillsAtTheConfiguredRate) {
+  serve::AdmissionConfig cfg;
+  cfg.client_quota[1] = {.rate = 50.0, .burst = 1.0};  // 20ms per row
+  serve::RequestQueue q(cfg);
+  auto f1 = q.submit(tiny_input(), {.client_id = 1});
+  auto f2 = q.submit(tiny_input(), {.client_id = 1});  // back to back
+  EXPECT_EQ(settle_kind(f2), 3);
+  std::this_thread::sleep_for(50ms);  // > 20ms: one row of credit back
+  auto f3 = q.submit(tiny_input(), {.client_id = 1});
+  EXPECT_EQ(q.throttled(), 1u);
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f1), 0);
+  EXPECT_EQ(settle_kind(f3), 0);
+}
+
+TEST(Quota, OversizedRequestIsPermanentlyThrottledNotRetryBaited) {
+  serve::AdmissionConfig cfg;
+  cfg.client_quota[1] = {.rate = 1.0, .burst = 2.0};
+  serve::RequestQueue q(cfg);
+  auto f = q.submit(tiny_input(4), {.client_id = 1});  // can never fit
+  try {
+    (void)f.get();
+    FAIL() << "a request larger than burst must be refused";
+  } catch (const serve::ThrottledError& e) {
+    EXPECT_TRUE(std::isinf(e.retry_after_s()))
+        << "finite retry-after would send the client into an endless loop";
+  }
+  // The refusal cost nothing: a burst-sized request still goes through.
+  auto f2 = q.submit(tiny_input(2), {.client_id = 1});
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f2), 0);
+}
+
+TEST(Quota, CapacityRejectionRefundsTheTenantsTokens) {
+  serve::AdmissionConfig cfg;
+  cfg.policy = serve::AdmissionPolicy::kReject;
+  cfg.capacity = 1;
+  cfg.client_quota[1] = {.rate = 0.001, .burst = 2.0};  // ~never refills
+  serve::RequestQueue q(cfg);
+  auto f1 = q.submit(tiny_input(), {.client_id = 1});  // admitted
+  auto f2 = q.submit(tiny_input(), {.client_id = 1});  // capacity-rejected
+  EXPECT_EQ(settle_kind(f2), 1);
+  serve::Request r;
+  ASSERT_TRUE(q.pop(r));
+  r.promise.set_value(dummy_result());
+  // Without the refund the bucket would be empty now (two tokens charged
+  // for one admitted request); the tenant must still hold one.
+  auto f3 = q.submit(tiny_input(), {.client_id = 1});
+  q.close();
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f1), 0);
+  EXPECT_EQ(settle_kind(f3), 0);
+  EXPECT_EQ(q.throttled(), 0u);
+}
+
+TEST(Quota, ThrottledFlooderNeverStarvesCompliantTenants) {
+  // Randomized sweep: a flooder with a tight bucket hammers the queue
+  // while compliant tenants trickle. Every compliant submission must be
+  // served; the flooder's refusals are all typed ThrottledError; every
+  // future settles exactly once.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    serve::AdmissionConfig cfg;
+    cfg.client_quota[1] = {.rate = 200.0, .burst = 4.0};
+    serve::RequestQueue q(cfg);
+    std::thread consumer([&q] {
+      serve::Request r;
+      while (q.pop(r)) r.promise.set_value(dummy_result());
+    });
+
+    constexpr size_t kFlood = 100, kCompliantEach = 25;
+    std::vector<std::future<sc::InferenceResult>> flood, compliant;
+    std::thread flooder([&] {
+      for (size_t k = 0; k < kFlood; ++k)
+        flood.push_back(q.submit(tiny_input(), {.client_id = 1}));
+    });
+    std::vector<std::thread> tenants;
+    std::vector<std::vector<std::future<sc::InferenceResult>>> per(2);
+    for (size_t t = 0; t < 2; ++t)
+      tenants.emplace_back([&, t] {
+        std::mt19937_64 gen(seed + t);
+        std::uniform_int_distribution<int> jitter(0, 120);
+        for (size_t k = 0; k < kCompliantEach; ++k) {
+          per[t].push_back(q.submit(tiny_input(), {.client_id = 2 + t}));
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter(gen)));
+        }
+      });
+    flooder.join();
+    for (auto& t : tenants) t.join();
+    q.close();
+    consumer.join();
+
+    int64_t flood_values = 0, flood_throttled = 0;
+    for (auto& f : flood) switch (settle_kind(f)) {
+        case 0: ++flood_values; break;
+        case 3: ++flood_throttled; break;
+        default: ADD_FAILURE() << "flooder saw an unexpected settlement";
+      }
+    EXPECT_EQ(flood_values + flood_throttled,
+              static_cast<int64_t>(kFlood));
+    EXPECT_GT(flood_throttled, 0);
+    for (auto& futs : per)
+      for (auto& f : futs)
+        EXPECT_EQ(settle_kind(f), 0)
+            << "a compliant tenant was not served (seed " << seed << ")";
+    EXPECT_EQ(q.throttled(), static_cast<uint64_t>(flood_throttled));
+  }
+}
+
+// ------------------------------------------------------ server-level SLO
+
+struct SloRig {
+  std::vector<std::unique_ptr<core::MtlSplitModel>> models;
+
+  explicit SloRig(size_t replicas = 1, uint64_t seed = 1) {
+    for (size_t r = 0; r < replicas; ++r) {
+      Rng rng(seed + 100 * r);
+      models.push_back(core::make_mtl_model(factory_cfg(),
+                                            {{"a", 4}, {"b", 3}}, rng));
+      models.back()->set_training(false);
+      if (r > 0) core::copy_model_state(*models.back(), *models[0]);
+    }
+  }
+
+  static core::ModelFactoryConfig factory_cfg() {
+    core::ModelFactoryConfig cfg;
+    cfg.backbone = models::BackboneKind::kMobileNetV3;
+    cfg.image_shape = {3, 16, 16};
+    return cfg;
+  }
+
+  /// Factory for autoscaler minting: structurally identical, distinct
+  /// init (the server overwrites the weights via copy_model_state).
+  static std::unique_ptr<core::MtlSplitModel> mint() {
+    Rng rng(999);
+    return core::make_mtl_model(factory_cfg(), {{"a", 4}, {"b", 3}}, rng);
+  }
+
+  Tensor input(uint64_t seed) const {
+    Rng rng(seed);
+    Tensor t({1, 3, 16, 16});
+    rng.fill_uniform(t, 0.0f, 1.0f);
+    return t;
+  }
+};
+
+TEST(ServerDeadline, ExpiredRequestsNeverReachTheModel) {
+  SloRig rig;
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ScServer server({rig.models[0].get()}, link, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 4,
+                                       .max_wait_us = 2000}});
+  // Pre-expired: each settles with a typed error from some phase and is
+  // never dispatched.
+  std::vector<std::future<sc::InferenceResult>> dead;
+  for (uint64_t i = 0; i < 8; ++i)
+    dead.push_back(
+        server.submit(rig.input(100 + i),
+                      {.deadline = std::chrono::steady_clock::now() - 1ms}));
+  for (auto& f : dead) {
+    const int kind = settle_kind(f);
+    EXPECT_TRUE(kind >= 4 && kind <= 6) << "settlement kind " << kind;
+  }
+  // The server stays healthy: live requests complete bitwise-correct.
+  SloRig ref_rig;
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  for (uint64_t i = 0; i < 4; ++i) {
+    const Tensor x = rig.input(200 + i);
+    const sc::InferenceResult got = server.submit(x.clone()).get();
+    const sc::InferenceResult want = ref.infer(x);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]));
+  }
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.expired, 8);
+  EXPECT_EQ(s.completed, 4);
+  EXPECT_EQ(s.failed, 0);
+}
+
+TEST(Autoscale, GrowsUnderBurstNeverPastMaxAndShrinksWhenIdle) {
+  SloRig rig;
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 4, .max_wait_us = 200};
+  cfg.autoscale = {.enabled = true,
+                   .min_replicas = 1,
+                   .max_replicas = 3,
+                   .scale_up_backlog = 2.0,
+                   .scale_down_backlog = 0.5,
+                   .interval_us = 5000,
+                   .hysteresis_ticks = 2,
+                   .make_replica = &SloRig::mint};
+  serve::ScServer server({rig.models[0].get()}, link, sc::jetson_nano(),
+                         sc::rtx3090_server(), cfg);
+  EXPECT_EQ(server.num_workers(), 1u);
+
+  // Burst: enough open-loop work to hold the backlog over the scale-up
+  // threshold for several controller ticks.
+  std::vector<std::future<sc::InferenceResult>> futs;
+  std::vector<Tensor> inputs;
+  for (uint64_t i = 0; i < 64; ++i) {
+    inputs.push_back(rig.input(500 + i));
+    futs.push_back(server.submit(inputs.back().clone(), {.client_id = i}));
+  }
+  size_t max_seen = 1;
+  for (int t = 0; t < 400; ++t) {  // sample while the burst drains
+    max_seen = std::max(max_seen, server.num_workers());
+    ASSERT_LE(server.num_workers(), 3u) << "autoscaler exceeded max_replicas";
+    std::this_thread::sleep_for(1ms);
+    if (t > 20 && max_seen > 1) break;
+  }
+  // Every burst request completes, bitwise identical to sequential infer
+  // — whichever (possibly minted) replica served it.
+  SloRig ref_rig;
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  for (size_t i = 0; i < futs.size(); ++i) {
+    const sc::InferenceResult got = futs[i].get();
+    const sc::InferenceResult want = ref.infer(inputs[i]);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+          << "autoscaled request " << i << " diverged";
+  }
+  EXPECT_GT(max_seen, 1u) << "burst never triggered a scale-up";
+
+  // Idle: the controller retires extras back toward min_replicas.
+  bool shrank = false;
+  for (int t = 0; t < 2000 && !shrank; ++t) {
+    shrank = server.num_workers() == 1;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(shrank) << "autoscaler never scaled back down to min";
+
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_GE(s.scale_ups, 1);
+  EXPECT_GE(s.scale_downs, 1);
+  EXPECT_EQ(s.completed, 64);
+  EXPECT_EQ(s.failed, 0);
+  ASSERT_EQ(s.shard_replicas.size(), 1u);
+}
+
+TEST(WorkSteal, IdleShardDrainsBackloggedSibling) {
+  // Two single-replica shards; hash routing pins every request of one
+  // client to one shard, so the other shard's worker is idle unless it
+  // steals.
+  SloRig rig(/*replicas=*/2);
+  SloRig ref_rig;
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 1, .max_wait_us = 0};
+  cfg.replicas_per_shard = 1;
+  cfg.sharding = serve::ShardingPolicy::kHashClient;
+  cfg.work_stealing = true;
+  cfg.idle_poll_us = 200;
+  serve::ScServer server({rig.models[0].get(), rig.models[1].get()}, link,
+                         sc::jetson_nano(), sc::rtx3090_server(), cfg);
+  ASSERT_EQ(server.num_shards(), 2u);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (uint64_t i = 0; i < 40; ++i) {
+    inputs.push_back(rig.input(700 + i));
+    futs.push_back(server.submit(inputs.back().clone(), {.client_id = 42}));
+  }
+  for (size_t i = 0; i < futs.size(); ++i) {
+    const sc::InferenceResult got = futs[i].get();
+    const sc::InferenceResult want = ref.infer(inputs[i]);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+          << "stolen-or-owned request " << i << " diverged";
+  }
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 40);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_GT(s.stolen, 0) << "the idle sibling never stole";
+}
+
+TEST(WorkSteal, DisabledKeepsEveryRequestOnItsShard) {
+  SloRig rig(/*replicas=*/2);
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 2, .max_wait_us = 200};
+  cfg.replicas_per_shard = 1;
+  cfg.sharding = serve::ShardingPolicy::kHashClient;
+  cfg.work_stealing = false;
+  serve::ScServer server({rig.models[0].get(), rig.models[1].get()}, link,
+                         sc::jetson_nano(), sc::rtx3090_server(), cfg);
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (uint64_t i = 0; i < 12; ++i)
+    futs.push_back(server.submit(rig.input(800 + i), {.client_id = 42}));
+  for (auto& f : futs) EXPECT_EQ(settle_kind(f), 0);
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 12);
+  EXPECT_EQ(s.stolen, 0);
+}
+
+TEST(ServerQuota, ThrottledTenantGetsTypedErrorOthersUnaffected) {
+  SloRig rig;
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 4, .max_wait_us = 500};
+  cfg.admission.client_quota[9] = {.rate = 0.001, .burst = 3.0};
+  serve::ScServer server({rig.models[0].get()}, link, sc::jetson_nano(),
+                         sc::rtx3090_server(), cfg);
+  int64_t values = 0, throttled = 0;
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (uint64_t i = 0; i < 10; ++i)
+    futs.push_back(server.submit(rig.input(900 + i), {.client_id = 9}));
+  for (uint64_t i = 0; i < 6; ++i)
+    futs.push_back(server.submit(rig.input(950 + i), {.client_id = 10}));
+  for (auto& f : futs) switch (settle_kind(f)) {
+      case 0: ++values; break;
+      case 3: ++throttled; break;
+      default: ADD_FAILURE() << "unexpected settlement"; break;
+    }
+  server.shutdown();
+  EXPECT_EQ(values, 3 + 6);      // burst-of-3 for tenant 9, all of tenant 10
+  EXPECT_EQ(throttled, 7);
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.throttled, 7);
+  EXPECT_EQ(s.completed, 9);
+}
+
+}  // namespace
+}  // namespace mtlsplit
