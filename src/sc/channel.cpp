@@ -9,6 +9,17 @@ Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
             "Channel: degradation must be in [0, 1)");
   check_arg(cfg.corrupt_prob >= 0.0f && cfg.corrupt_prob <= 1.0f,
             "Channel: bad corruption probability");
+  const LinkModel& link = cfg.link;
+  check_arg(link.mtu_bytes >= 0, "Channel: negative MTU");
+  check_arg(link.loss_prob >= 0.0f && link.loss_prob <= 1.0f,
+            "Channel: bad packet loss probability");
+  check_arg(link.corrupt_prob >= 0.0f && link.corrupt_prob <= 1.0f,
+            "Channel: bad packet corruption probability");
+  check_arg(link.jitter_s >= 0.0, "Channel: negative jitter");
+  check_arg(link.max_retransmits >= 0, "Channel: negative retransmit budget");
+  check_arg(link.packet_overhead_bytes >= 0,
+            "Channel: negative packet overhead");
+  check_arg(link.drop_every_k >= 0, "Channel: negative drop period");
 }
 
 Channel Channel::fork(uint64_t session) const {
@@ -30,8 +41,23 @@ double Channel::transfer_time(int64_t bytes) const {
 }
 
 std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
-  total_time_ += transfer_time(static_cast<int64_t>(message.size()));
-  total_bytes_ += static_cast<int64_t>(message.size());
+  const int64_t bytes = static_cast<int64_t>(message.size());
+  if (cfg_.link.enabled()) {
+    const double per_byte_s =
+        8.0 / (cfg_.bandwidth_bps * (1.0 - cfg_.degradation));
+    const LinkDelivery d = link_deliver(cfg_.link, per_byte_s,
+                                        cfg_.base_latency_s, rng_,
+                                        &packet_seq_, message);
+    last_time_ = d.time_s;
+    last_retransmits_ = d.retransmits;
+    packets_ += d.packets;
+    retransmits_ += d.retransmits;
+  } else {
+    last_time_ = transfer_time(bytes);
+    last_retransmits_ = 0;
+  }
+  total_time_ += last_time_;
+  total_bytes_ += bytes;
   ++messages_;
   if (cfg_.corrupt_prob > 0.0f) {
     for (uint8_t& b : message)
@@ -59,6 +85,10 @@ void Channel::reset_stats() {
   total_time_ = 0.0;
   total_bytes_ = 0;
   messages_ = 0;
+  packets_ = 0;
+  retransmits_ = 0;
+  last_time_ = 0.0;
+  last_retransmits_ = 0;
 }
 
 }  // namespace mtlsplit::sc

@@ -6,12 +6,16 @@
 // factor modelling poor channel conditions (§1: "excessive latency times,
 // especially in degraded channel conditions"), and an optional corruption
 // probability for failure-injection tests (corrupted payloads fail the
-// wire-format CRC on receipt).
+// wire-format CRC on receipt). With ChannelConfig::link enabled the
+// channel additionally packetises every message into MTU-sized packets
+// with per-packet loss, corruption, jitter, and a bounded retransmit loop
+// (sc/link.hpp, DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sc/link.hpp"
 #include "tensor/rng.hpp"
 
 namespace mtlsplit::sc {
@@ -22,28 +26,42 @@ struct ChannelConfig {
   double degradation = 0.0;     ///< [0,1): effective bw *= (1 - degradation)
   float corrupt_prob = 0.0f;    ///< probability a transmitted byte flips
   uint64_t seed = 42;
+  /// Packetised lossy-link behaviour; disabled (whole-message transfer)
+  /// unless link.mtu_bytes > 0.
+  LinkModel link;
 };
 
 class Channel {
  public:
   explicit Channel(const ChannelConfig& cfg);
 
-  /// Modelled wall-clock time to move @p bytes across the link.
+  /// Modelled wall-clock time to move @p bytes across the link in one
+  /// piece — the analytic §4.2 view, ignoring packetisation and loss.
   double transfer_time(int64_t bytes) const;
 
   /// "Transmits" a message: accounts time into total_time() and applies
-  /// byte corruption per corrupt_prob. Returns the received bytes.
-  /// Virtual so fault-injection wrappers (FaultInjectChannel) can
-  /// intercept the wire deterministically.
+  /// byte corruption per corrupt_prob. With the link model enabled the
+  /// message is packetised; packets drop/corrupt deterministically from
+  /// the session RNG and a bounded retransmit loop recovers them (an
+  /// exhausted budget delivers an erasure that fails the CRC upstream).
+  /// Returns the received bytes. Virtual so fault-injection wrappers
+  /// (FaultInjectChannel) can intercept the wire deterministically.
   virtual std::vector<uint8_t> transmit(std::vector<uint8_t> message);
 
   virtual ~Channel() = default;
-  Channel(const Channel&) = default;
-  Channel& operator=(const Channel&) = default;
+  /// A Channel is a wire *session*: it owns RNG and counter state that
+  /// transmit() mutates. Copying one would alias that state across users
+  /// (e.g. a minted server replica silently replaying another worker's
+  /// corruption stream), so copies are deleted — fork() a fresh session
+  /// or construct from config() instead. Moves transfer ownership.
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&&) = default;
+  Channel& operator=(Channel&&) = default;
 
   /// Independent session over the same physical link: identical latency
-  /// model, but its own corruption RNG stream (derived from the base seed
-  /// and @p session) and its own statistics. Channel is not thread-safe —
+  /// model, but its own RNG stream (derived from the base seed and
+  /// @p session) and its own statistics. Channel is not thread-safe —
   /// transmit() mutates the RNG and counters — so concurrent users (e.g.
   /// the serving layer's worker pool) each fork a session instead of
   /// sharing one Channel.
@@ -52,6 +70,16 @@ class Channel {
   double total_time() const { return total_time_; }
   int64_t total_bytes() const { return total_bytes_; }
   int64_t messages_sent() const { return messages_; }
+  /// Packets pushed onto the wire (first attempts only; link mode).
+  int64_t packets_sent() const { return packets_; }
+  /// Cumulative link-layer retransmissions across the session.
+  int64_t retransmits() const { return retransmits_; }
+  /// Modelled time of the most recent transmit() — equals
+  /// transfer_time(bytes) without a link model, and the packetised
+  /// jitter/retransmit accounting with one.
+  double last_message_time_s() const { return last_time_; }
+  /// Retransmissions the most recent transmit() needed.
+  int64_t last_message_retransmits() const { return last_retransmits_; }
   void reset_stats();
 
   const ChannelConfig& config() const { return cfg_; }
@@ -62,6 +90,11 @@ class Channel {
   double total_time_ = 0.0;
   int64_t total_bytes_ = 0;
   int64_t messages_ = 0;
+  int64_t packets_ = 0;
+  int64_t retransmits_ = 0;
+  int64_t packet_seq_ = 0;  // drives LinkModel::drop_every_k
+  double last_time_ = 0.0;
+  int64_t last_retransmits_ = 0;
 };
 
 /// Deterministic fault schedule for FaultInjectChannel.

@@ -78,6 +78,34 @@ ScDeployment::ScDeployment(core::MtlSplitModel& model, Channel& channel,
       server_(std::move(server)),
       cfg_(cfg) {}
 
+Tensor ScDeployment::wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat) {
+  // --- Edge side of the wire: serialise, then (optionally) entropy-code.
+  std::vector<uint8_t> msg;
+  if (cfg_.encoding == ZbEncoding::kFloat32) {
+    msg = serialize_tensor(zb);
+  } else {
+    const QuantizedTensor q = quantize_int8(zb);
+    msg = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
+  }
+  lat.wire_bytes_raw = static_cast<int64_t>(msg.size());
+  if (cfg_.codec != WireCodec::kRaw) msg = encode_frame(msg, cfg_.codec);
+  lat.wire_bytes = static_cast<int64_t>(msg.size());
+
+  // --- Channel: packetisation/loss/retransmits are the channel's
+  // business; its per-message stats carry the modelled cost back.
+  std::vector<uint8_t> received = channel_->transmit(std::move(msg));
+  lat.transfer_s = channel_->last_message_time_s();
+  lat.retransmits = channel_->last_message_retransmits();
+
+  // --- Server side: unframe (typed WireCodecError on a damaged frame),
+  // deserialise (CRC-checked), dequantise below the quantise boundary.
+  if (cfg_.codec != WireCodec::kRaw) received = decode_frame(received);
+  const WireTensor wt = deserialize_tensor(received);
+  return wt.dtype == WireDtype::kFloat32
+             ? wt.f32
+             : dequantize_int8({wt.shape, wt.i8, wt.scale, wt.zero_point});
+}
+
 InferenceResult ScDeployment::infer(const Tensor& x) {
   InferenceResult out;
   const auto t0 = std::chrono::steady_clock::now();
@@ -87,25 +115,8 @@ InferenceResult ScDeployment::infer(const Tensor& x) {
   out.latency.edge_compute_s =
       edge_.compute_time(model_->backbone().flops(x.shape()));
 
-  // --- Wire: serialise Z_b and push it through the channel.
-  std::vector<uint8_t> wire;
-  if (cfg_.encoding == ZbEncoding::kFloat32) {
-    wire = serialize_tensor(zb);
-  } else {
-    const QuantizedTensor q = quantize_int8(zb);
-    wire = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
-  }
-  out.latency.wire_bytes = static_cast<int64_t>(wire.size());
-  out.latency.transfer_s =
-      channel_->transfer_time(out.latency.wire_bytes);
-  const std::vector<uint8_t> received = channel_->transmit(std::move(wire));
-
-  // --- Server: deserialise (CRC-checked) and run the task heads (Eq. 3).
-  const WireTensor wt = deserialize_tensor(received);
-  const Tensor zb_rx =
-      wt.dtype == WireDtype::kFloat32
-          ? wt.f32
-          : dequantize_int8({wt.shape, wt.i8, wt.scale, wt.zero_point});
+  // --- Wire + server: real wire format, then the task heads (Eq. 3).
+  const Tensor zb_rx = wire_roundtrip(zb, out.latency);
   out.logits = model_->forward_heads(zb_rx);
   out.latency.server_compute_s =
       server_.compute_time(heads_flops(*model_, zb_rx.shape()));
@@ -145,26 +156,16 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
         zrow_storage = ops::slice_batch(zb, i, i + 1);
         zrow = &zrow_storage;
       }
-      std::vector<uint8_t> msg;
-      if (cfg_.encoding == ZbEncoding::kFloat32) {
-        msg = serialize_tensor(*zrow);
-      } else {
-        const QuantizedTensor q = quantize_int8(*zrow);
-        msg = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
-      }
-      lat.wire_bytes = static_cast<int64_t>(msg.size());
-      lat.transfer_s = channel_->transfer_time(lat.wire_bytes);
-      out.wire_bytes += lat.wire_bytes;
-      const std::vector<uint8_t> received = channel_->transmit(std::move(msg));
-      const WireTensor wt = deserialize_tensor(received);
-      survivors.push_back(
-          wt.dtype == WireDtype::kFloat32
-              ? wt.f32
-              : dequantize_int8({wt.shape, wt.i8, wt.scale, wt.zero_point}));
+      survivors.push_back(wire_roundtrip(*zrow, lat));
       owner.push_back(static_cast<size_t>(i));
     } catch (...) {
       item.error = std::current_exception();
     }
+    // Wire traffic is accounted whether or not the message survived —
+    // the bytes crossed (and the retransmits happened) either way.
+    out.wire_bytes += lat.wire_bytes;
+    out.wire_bytes_raw += lat.wire_bytes_raw;
+    out.retransmits += lat.retransmits;
   }
 
   // --- Server: heads run once over the surviving sub-batch, then each
@@ -199,6 +200,7 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs) {
 StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
                                         const StreamItemFn& on_item) {
   StreamResult out;
+  last_stream_traffic_ = {};
   const size_t n = inputs.size();
   out.results.resize(n);
   if (n == 0) return out;
@@ -230,28 +232,27 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
     to_wire.close();
   });
 
-  // --- Stage 2 (wire thread): serialise -> channel -> deserialise.
+  // --- Stage 2 (wire thread): serialise -> channel -> deserialise. The
+  // traffic tally survives a decode failure — wire_roundtrip fills the
+  // item's wire fields before it can throw, and the faulted message
+  // crossed the link either way.
+  auto account_traffic = [this](const LatencyBreakdown& lat) {
+    last_stream_traffic_.wire_bytes += lat.wire_bytes;
+    last_stream_traffic_.wire_bytes_raw += lat.wire_bytes_raw;
+    last_stream_traffic_.retransmits += lat.retransmits;
+  };
   std::thread wire_thread([&] {
     try {
       size_t i;
       while (to_wire.pop(i)) {
         LatencyBreakdown& lat = out.results[i].latency;
-        std::vector<uint8_t> msg;
-        if (cfg_.encoding == ZbEncoding::kFloat32) {
-          msg = serialize_tensor(zb[i]);
-        } else {
-          const QuantizedTensor q = quantize_int8(zb[i]);
-          msg = serialize_int8(q.shape, q.values, q.scale, q.zero_point);
+        try {
+          zb_rx[i] = wire_roundtrip(zb[i], lat);
+        } catch (...) {
+          account_traffic(lat);
+          throw;
         }
-        lat.wire_bytes = static_cast<int64_t>(msg.size());
-        lat.transfer_s = channel_->transfer_time(lat.wire_bytes);
-        const std::vector<uint8_t> received =
-            channel_->transmit(std::move(msg));
-        const WireTensor wt = deserialize_tensor(received);
-        zb_rx[i] = wt.dtype == WireDtype::kFloat32
-                       ? wt.f32
-                       : dequantize_int8(
-                             {wt.shape, wt.i8, wt.scale, wt.zero_point});
+        account_traffic(lat);
         zb[i] = Tensor();  // edge copy no longer needed
         to_server.push(i);
       }
@@ -317,11 +318,14 @@ RocDeployment::RocDeployment(core::MtlSplitModel& model, Channel& channel,
 InferenceResult RocDeployment::infer(const Tensor& x) {
   InferenceResult out;
   const auto t0 = std::chrono::steady_clock::now();
-  // Raw input crosses the channel...
+  // Raw input crosses the channel (uncoded: RoC predates the bottleneck,
+  // so there is nothing sparse to entropy-code)...
   std::vector<uint8_t> wire = serialize_tensor(x);
   out.latency.wire_bytes = static_cast<int64_t>(wire.size());
-  out.latency.transfer_s = channel_->transfer_time(out.latency.wire_bytes);
+  out.latency.wire_bytes_raw = out.latency.wire_bytes;
   const std::vector<uint8_t> received = channel_->transmit(std::move(wire));
+  out.latency.transfer_s = channel_->last_message_time_s();
+  out.latency.retransmits = channel_->last_message_retransmits();
   const WireTensor wt = deserialize_tensor(received);
   check_arg(wt.dtype == WireDtype::kFloat32, "RoC: unexpected wire dtype");
 

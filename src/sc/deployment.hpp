@@ -21,6 +21,7 @@
 #include "sc/channel.hpp"
 #include "sc/device.hpp"
 #include "sc/quantize.hpp"
+#include "sc/wire_codec.hpp"
 
 namespace mtlsplit::sc {
 
@@ -34,7 +35,15 @@ struct LatencyBreakdown {
   double edge_compute_s = 0.0;
   double transfer_s = 0.0;
   double server_compute_s = 0.0;
+  /// Bytes that actually crossed the link (the compressed frame when the
+  /// wire codec is on; identical to wire_bytes_raw when it is off).
   int64_t wire_bytes = 0;
+  /// Serialised Z_b size before the wire codec (the uncompressed wire
+  /// cost this transfer would have paid).
+  int64_t wire_bytes_raw = 0;
+  /// Link-layer retransmissions this message needed (0 without a
+  /// LinkModel on the channel).
+  int64_t retransmits = 0;
   /// Measured wall-clock. For ScDeployment::infer this covers the whole
   /// call; for a pipelined stream it is the time from stream start until
   /// this item left the server stage.
@@ -55,6 +64,10 @@ enum class ZbEncoding { kFloat32, kInt8 };
 
 struct ScDeploymentConfig {
   ZbEncoding encoding = ZbEncoding::kFloat32;
+  /// WireCodec::kEntropy wraps every serialised Z_b in an entropy-coded
+  /// frame (sc/wire_codec.hpp) before it crosses the channel. Coding is
+  /// lossless, so served logits stay bitwise identical to kRaw.
+  WireCodec codec = WireCodec::kRaw;
 };
 
 /// Outcome of a pipelined stream inference (ScDeployment::infer_stream).
@@ -85,6 +98,10 @@ struct BatchResult {
   double measured_wall_s = 0.0;
   /// Total bytes that crossed the link (one message per sample).
   int64_t wire_bytes = 0;
+  /// Total pre-codec serialised bytes across the batch's messages.
+  int64_t wire_bytes_raw = 0;
+  /// Total link-layer retransmissions across the batch's messages.
+  int64_t retransmits = 0;
 };
 
 /// Split-computing executor for an MtlSplitModel.
@@ -135,14 +152,33 @@ class ScDeployment {
   StreamResult infer_stream(const std::vector<Tensor>& inputs,
                             const StreamItemFn& on_item);
 
+  /// Aggregate wire traffic of the most recent infer_stream call. A
+  /// stream that fails on the wire loses its StreamResult (the error is
+  /// rethrown), but the faulted message still crossed the link — this is
+  /// how the serve layer keeps its traffic stats honest under loss.
+  /// Valid once infer_stream returned or threw; not meaningful while a
+  /// stream is in flight.
+  struct WireTraffic {
+    int64_t wire_bytes = 0;
+    int64_t wire_bytes_raw = 0;
+    int64_t retransmits = 0;
+  };
+  WireTraffic last_stream_traffic() const { return last_stream_traffic_; }
+
   /// Edge-side working-set estimate (backbone params + activations).
   double edge_memory_bytes(const Shape& image_shape) const;
 
  private:
+  /// Serialises @p zb (per cfg_.encoding), frames it (per cfg_.codec),
+  /// pushes it through the channel, and decodes the receiver's view.
+  /// Fills the wire fields of @p lat. Throws on CRC/frame corruption.
+  Tensor wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat);
+
   core::MtlSplitModel* model_;
   Channel* channel_;
   DeviceProfile edge_, server_;
   ScDeploymentConfig cfg_;
+  WireTraffic last_stream_traffic_;
 };
 
 /// Remote-only executor: ships the raw input, runs everything server-side.

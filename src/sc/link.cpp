@@ -1,0 +1,76 @@
+#include "sc/link.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mtlsplit::sc {
+
+LinkDelivery link_deliver(const LinkModel& link, double per_byte_s,
+                          double base_latency_s, Rng& rng,
+                          int64_t* packet_seq, std::vector<uint8_t>& message) {
+  check_arg(link.mtu_bytes > 0, "link_deliver: link not enabled");
+  check_arg(link.loss_prob >= 0.0f && link.loss_prob <= 1.0f,
+            "link_deliver: bad loss probability");
+  check_arg(link.corrupt_prob >= 0.0f && link.corrupt_prob <= 1.0f,
+            "link_deliver: bad corruption probability");
+  check_arg(link.jitter_s >= 0.0, "link_deliver: negative jitter");
+  check_arg(link.max_retransmits >= 0, "link_deliver: negative budget");
+  check_arg(link.packet_overhead_bytes >= 0,
+            "link_deliver: negative packet overhead");
+
+  LinkDelivery out;
+  const int64_t n = static_cast<int64_t>(message.size());
+  // An empty message still costs one (empty) packet of setup time.
+  out.packets = std::max<int64_t>(1, (n + link.mtu_bytes - 1) / link.mtu_bytes);
+
+  for (int64_t p = 0; p < out.packets; ++p) {
+    const int64_t begin = p * link.mtu_bytes;
+    const int64_t end = std::min(n, begin + link.mtu_bytes);
+    const double attempt_s =
+        base_latency_s +
+        static_cast<double>(end - begin + link.packet_overhead_bytes) *
+            per_byte_s;
+    const int64_t seq = ++*packet_seq;  // 1-based across the session
+    bool delivered = false;
+    for (int attempt = 0; attempt <= link.max_retransmits; ++attempt) {
+      // Every attempt crosses (or times out on) the wire once.
+      out.time_s += attempt_s;
+      if (link.jitter_s > 0.0)
+        out.time_s += rng.uniform(0.0f, static_cast<float>(link.jitter_s));
+      if (attempt > 0) ++out.retransmits;
+
+      const bool scheduled_drop =
+          attempt == 0 && link.drop_every_k > 0 && seq % link.drop_every_k == 0;
+      const bool lost = scheduled_drop || (link.loss_prob > 0.0f &&
+                                           rng.bernoulli(link.loss_prob));
+      if (lost) {
+        // Receiver never acks; the sender's timeout costs one more
+        // base-latency interval before the retransmit goes out.
+        out.time_s += base_latency_s;
+        continue;
+      }
+      const bool corrupted =
+          link.corrupt_prob > 0.0f && rng.bernoulli(link.corrupt_prob);
+      if (corrupted) {
+        // Per-packet CRC fails at the receiver; the NACK travels back
+        // before the retransmit.
+        out.time_s += base_latency_s;
+        continue;
+      }
+      delivered = true;
+      break;
+    }
+    if (!delivered) {
+      // Budget exhausted: surface an erasure. The zeroed span fails the
+      // frame/tensor CRC above, so the loss is always typed, never
+      // silent.
+      ++out.undelivered;
+      if (end > begin)
+        std::memset(message.data() + begin, 0,
+                    static_cast<size_t>(end - begin));
+    }
+  }
+  return out;
+}
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,63 @@
+// Lossy-link model for the edge→server wire (DESIGN.md §9).
+//
+// The base Channel moves whole messages at bytes/bandwidth + latency.
+// LinkModel upgrades that to a packetised link: a wire message is split
+// into MTU-sized packets, each attempt can be dropped or corrupted
+// (drawn deterministically from the channel session's RNG), jitter adds
+// a per-attempt delay, and a bounded retransmit loop — per-packet CRC +
+// ack accounting in modelled time — recovers faulted packets. A packet
+// whose retransmit budget runs out is delivered as an erasure (zeroed
+// payload), which the frame/tensor CRC above rejects with a typed error;
+// the link never fails silently.
+//
+// All state machines here are pure functions of (LinkModel, channel
+// latency parameters, RNG stream), so two sessions with the same seed
+// replay byte-identical loss/jitter schedules and forked sessions drift
+// independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace mtlsplit::sc {
+
+/// Packet-level link behaviour, embedded in ChannelConfig. mtu_bytes == 0
+/// (the default) disables packetisation entirely — the channel then
+/// behaves exactly as before this layer existed.
+struct LinkModel {
+  int64_t mtu_bytes = 0;  ///< payload bytes per packet; 0 = whole-message
+  int64_t packet_overhead_bytes = 32;  ///< per-packet header on the wire
+  float loss_prob = 0.0f;     ///< P(drop) per packet attempt
+  float corrupt_prob = 0.0f;  ///< P(per-packet CRC failure) per attempt
+  double jitter_s = 0.0;      ///< max uniform extra delay per attempt
+  int max_retransmits = 8;    ///< retries per packet beyond the first try
+  /// Deterministic fault schedule for tests: the FIRST attempt of every
+  /// k-th packet (1-based, counted across the session) is dropped; 0
+  /// disables. Retransmission then recovers it unless the random faults
+  /// also strike.
+  int64_t drop_every_k = 0;
+
+  bool enabled() const { return mtu_bytes > 0; }
+};
+
+/// Outcome of pushing one message through the packetised link.
+struct LinkDelivery {
+  double time_s = 0.0;        ///< modelled wall-clock including retransmits
+  int64_t packets = 0;        ///< packets the message was split into
+  int64_t retransmits = 0;    ///< extra attempts beyond one per packet
+  int64_t undelivered = 0;    ///< packets erased after budget exhaustion
+};
+
+/// Runs @p message through the packetised loss/retransmit state machine,
+/// rewriting it in place with the receiver's view (undelivered packets
+/// zero-filled). @p per_byte_s is the effective seconds-per-byte of the
+/// channel and @p base_latency_s its per-transmission setup time; both
+/// are charged per packet attempt, plus a jitter draw. @p packet_seq is
+/// the session's running packet counter (drives drop_every_k).
+LinkDelivery link_deliver(const LinkModel& link, double per_byte_s,
+                          double base_latency_s, Rng& rng,
+                          int64_t* packet_seq, std::vector<uint8_t>& message);
+
+}  // namespace mtlsplit::sc

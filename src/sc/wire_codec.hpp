@@ -1,0 +1,68 @@
+// Entropy-coded wire frames for the split-computing bottleneck payload
+// (DESIGN.md §9).
+//
+// The int8-quantised Z_b the edge ships is sparse and low-entropy after
+// ReLU: most bytes are the zero-point code, the rest cluster near it. An
+// order-0 adaptive binary range coder with a zero-run/RLE pre-pass
+// typically halves the wire bytes again on top of the 4x the int8
+// quantiser already buys — directly shrinking the wire stage that
+// `infer_stream`'s three-stage pipeline exposes as the latency shoulder.
+//
+// Frame layout, little-endian (self-describing so uncompressed
+// passthrough stays available and old fixed-format consumers coexist):
+//
+//   magic   u32  'MTWF' (0x4D545746)
+//   codec   u8   0 = stored (raw payload), 1 = RLE + adaptive range coder
+//   raw     u64  size of the decoded payload in bytes
+//   payload ...
+//   crc32   u32  over everything above
+//
+// encode_frame never expands beyond raw + kFrameHeaderBytes: when the
+// entropy-coded payload would be at least as large as the input (already
+// high-entropy data), the frame stores the raw bytes instead. Decoding a
+// corrupted or truncated frame always raises the typed WireCodecError —
+// the CRC is checked before any field is trusted, and every decoder read
+// is bounds-checked, so no input can cause UB or a silent wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mtlsplit::sc {
+
+/// Wire-compression toggle carried by ScDeploymentConfig.
+enum class WireCodec : uint8_t {
+  kRaw = 0,     ///< no framing: the serialised tensor bytes go out as-is
+  kEntropy = 1  ///< RLE + adaptive range coder inside a self-describing frame
+};
+
+/// Typed decode failure: truncation, bad magic, CRC mismatch, or an
+/// internally inconsistent payload. Derives from std::invalid_argument so
+/// existing wire-error handling (the CRC rejection path of
+/// deserialize_tensor) catches it unchanged.
+class WireCodecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// magic + codec id + raw size + crc32.
+constexpr int64_t kFrameHeaderBytes = 4 + 1 + 8 + 4;
+
+/// Largest raw payload decode_frame will reconstruct. CRC32 is not
+/// keyed, so a hostile frame can be CRC-valid; the cap bounds the work
+/// and allocation it can demand (any real Z_b is kilobytes).
+constexpr uint64_t kMaxRawSize = 1ull << 28;  // 256 MB
+
+/// Wraps @p raw in a wire frame. kEntropy runs the RLE + range-coder
+/// pipeline and falls back to a stored frame when the input is
+/// incompressible; kRaw always stores. The result is never larger than
+/// raw.size() + kFrameHeaderBytes.
+std::vector<uint8_t> encode_frame(const std::vector<uint8_t>& raw,
+                                  WireCodec codec);
+
+/// Parses and CRC-validates a frame, returning the decoded raw payload.
+/// Throws WireCodecError on any corruption.
+std::vector<uint8_t> decode_frame(const std::vector<uint8_t>& frame);
+
+}  // namespace mtlsplit::sc

@@ -25,7 +25,9 @@ ScServer::ScServer(std::vector<core::MtlSplitModel*> replicas,
                    sc::DeviceProfile server, ServeConfig cfg)
     : cfg_(std::move(cfg)), edge_(std::move(edge)), server_(std::move(server)) {
   check_arg(!replicas.empty(), "ScServer: need at least one model replica");
-  base_link_ = std::make_unique<sc::Channel>(link);
+  // Channel sessions are non-copyable (they own RNG + counter state a
+  // copy would alias); the fork source is rebuilt from the link's config.
+  base_link_ = std::make_unique<sc::Channel>(link.config());
   std::vector<sc::Channel*> sessions;
   sessions.reserve(replicas.size());
   owned_boot_sessions_.reserve(replicas.size());
@@ -273,7 +275,8 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
   try {
     sc::BatchResult br = w.deployment->infer_batch(
         parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
-    stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes);
+    stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes,
+                    br.wire_bytes_raw, br.retransmits);
     counted = true;
     size_t row = 0;
     const auto now = std::chrono::steady_clock::now();
@@ -309,6 +312,8 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
           merged.latency.transfer_s += lat.transfer_s;
           merged.latency.server_compute_s += lat.server_compute_s;
           merged.latency.wire_bytes += lat.wire_bytes;
+          merged.latency.wire_bytes_raw += lat.wire_bytes_raw;
+          merged.latency.retransmits += lat.retransmits;
         }
         r.promise.set_value(std::move(merged));
         stats_.on_request(seconds_between(r.enqueued_at, now), true);
@@ -335,8 +340,8 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
 void ScServer::serve_stream_request(Worker& w, Request& r) {
   const auto rows = static_cast<size_t>(r.rows());
   std::vector<char> emitted;
-  int64_t wire = 0;
   bool ok = true;
+  bool stream_ran = false;  // guards against reading a stale tally
   // Everything that can throw — including the per-row slicing — stays
   // inside the try: an escaped exception would leave chunk promises
   // broken and kill the worker thread.
@@ -351,9 +356,9 @@ void ScServer::serve_stream_request(Worker& w, Request& r) {
         items.push_back(ops::slice_batch(r.x, static_cast<int64_t>(i),
                                          static_cast<int64_t>(i) + 1));
     }
+    stream_ran = true;  // infer_stream resets its tally even on a throw
     (void)w.deployment->infer_stream(
         items, [&](size_t i, sc::InferenceResult& item) {
-          wire += item.latency.wire_bytes;
           r.chunk_promises[i].set_value(std::move(item));
           emitted[i] = 1;
         });
@@ -367,7 +372,13 @@ void ScServer::serve_stream_request(Worker& w, Request& r) {
         r.chunk_promises[i].set_exception(err);
   }
   const auto now = std::chrono::steady_clock::now();
-  stats_.on_batch(1, wire);
+  // Traffic comes from the deployment's stream tally, not the emitted
+  // chunks: a message whose decode failed still crossed the wire (and
+  // consumed retransmits), and the stats must say so.
+  const sc::ScDeployment::WireTraffic t =
+      stream_ran ? w.deployment->last_stream_traffic()
+                 : sc::ScDeployment::WireTraffic{};
+  stats_.on_batch(1, t.wire_bytes, t.wire_bytes_raw, t.retransmits);
   stats_.on_request(seconds_between(r.enqueued_at, now), ok);
 }
 

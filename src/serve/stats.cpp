@@ -39,11 +39,15 @@ void StatsCollector::on_submit() {
   }
 }
 
-void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes) {
+void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes,
+                              int64_t wire_bytes_raw, int64_t retransmits) {
   check_arg(batch_size >= 1, "StatsCollector: empty batch");
   std::lock_guard<std::mutex> lk(mu_);
   stats_.batches = saturating_add(stats_.batches, 1);
   stats_.wire_bytes = saturating_add(stats_.wire_bytes, wire_bytes);
+  stats_.wire_bytes_raw = saturating_add(
+      stats_.wire_bytes_raw, wire_bytes_raw < 0 ? wire_bytes : wire_bytes_raw);
+  stats_.retransmits = saturating_add(stats_.retransmits, retransmits);
   const int64_t bucket = std::min(batch_size, ServeStats::kBatchHistMax);
   if (static_cast<int64_t>(stats_.batch_hist.size()) <= bucket)
     stats_.batch_hist.resize(static_cast<size_t>(bucket) + 1, 0);

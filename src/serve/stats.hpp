@@ -49,6 +49,11 @@ struct ServeStats {
   int64_t scale_downs = 0; ///< autoscaler replica retirements
   int64_t batches = 0;    ///< server batches executed
   int64_t wire_bytes = 0; ///< total Z_b bytes that crossed the link
+  /// Serialised Z_b bytes before the wire codec; equals wire_bytes when
+  /// the codec is off, and the denominator of the compression ratio when
+  /// it is on.
+  int64_t wire_bytes_raw = 0;
+  int64_t retransmits = 0;  ///< link-layer retransmissions across the wire
   /// Active replicas per shard at snapshot time (autoscaler view).
   std::vector<int64_t> shard_replicas;
   /// Wall-clock from the first accepted request to the last completion.
@@ -74,7 +79,9 @@ class StatsCollector {
  public:
   /// Marks wall-clock start at the first accepted request.
   void on_submit();
-  void on_batch(int64_t batch_size, int64_t wire_bytes);
+  /// @p wire_bytes_raw defaults to @p wire_bytes (codec off).
+  void on_batch(int64_t batch_size, int64_t wire_bytes,
+                int64_t wire_bytes_raw = -1, int64_t retransmits = 0);
   void on_request(double e2e_latency_s, bool ok);
   /// Requests that aged out between pop and dispatch (ExpiryPhase
   /// kDispatch) — admission/queue expiries are tallied by the queue.

@@ -128,7 +128,21 @@ TEST(ServeStats, CountersSaturateOnLongRuns) {
   c.on_batch(1, max);  // would wrap negative with plain +=
   const ServeStats s = c.snapshot();
   EXPECT_EQ(s.wire_bytes, max);
+  EXPECT_EQ(s.wire_bytes_raw, max);  // defaulted raw tally saturates too
   EXPECT_EQ(s.batches, 2);
+}
+
+TEST(ServeStats, WireTrafficSplitsCompressedRawAndRetransmits) {
+  StatsCollector c;
+  // Codec on: compressed bytes crossed, raw bytes would have.
+  c.on_batch(2, 600, 1000, 3);
+  c.on_batch(1, 400, 800, 0);
+  // Codec off (two-argument form): raw mirrors the on-wire bytes.
+  c.on_batch(1, 250);
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.wire_bytes, 600 + 400 + 250);
+  EXPECT_EQ(s.wire_bytes_raw, 1000 + 800 + 250);
+  EXPECT_EQ(s.retransmits, 3);
 }
 
 TEST(ServeStats, BatchHistogramIsBoundedWithOverflowBucket) {
