@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/executor.hpp"
+#include "models/backbone.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
@@ -179,6 +181,36 @@ void BM_SoftmaxRows(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(ops::softmax_rows(x));
 }
 BENCHMARK(BM_SoftmaxRows);
+
+// Whole-backbone forward, eager Module::forward vs the compiled graph
+// executor (exact = bitwise plan, fused = BN-folded plan), batch 8 at the
+// serving image size. CI gates on compiled-never-slower-than-eager for the
+// VGG edge slice using these entries (args: backbone kind / mode).
+void BM_BackboneForward(benchmark::State& state) {
+  const auto kind = static_cast<models::BackboneKind>(state.range(0));
+  const int64_t mode = state.range(1);  // 0 = eager, 1 = exact, 2 = fused
+  Rng rng(33);
+  auto bb = models::build_backbone(
+      {kind, models::BackboneScale::kEdge, 3}, rng);
+  bb->set_training(false);
+  Tensor x({8, 3, 16, 16});
+  rng.fill_uniform(x, 0.0f, 1.0f);
+  if (mode == 0) {
+    for (auto _ : state) benchmark::DoNotOptimize(bb->forward(x));
+  } else {
+    auto plan = graph::compile(*bb, {1, 3, 16, 16}, {.exact = mode == 1});
+    graph::GraphExecutor exec(plan);
+    for (auto _ : state) benchmark::DoNotOptimize(exec.run(x));
+  }
+  state.SetLabel(models::backbone_name(kind) + std::string("/") +
+                 (mode == 0 ? "eager" : mode == 1 ? "exact" : "fused"));
+  set_op_counters(state, 8, 8 * bb->flops({1, 3, 16, 16}));
+}
+BENCHMARK(BM_BackboneForward)
+    ->ArgNames({"bb", "mode"})
+    ->Args({0, 0})->Args({0, 1})->Args({0, 2})   // VGG16
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})   // MobileNetV3
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2});  // EfficientNet
 
 }  // namespace
 

@@ -1,0 +1,47 @@
+// Pass interface + pass manager for the graph IR (DESIGN.md §10).
+//
+// A Pass mutates a Graph in place and reports how many rewrites it made;
+// every pass must be idempotent (a second run on its own output makes zero
+// rewrites) and must leave the graph executable — same outputs, fewer or
+// cheaper nodes. The PassManager runs its passes once each, in order, and
+// records a per-pass timing/rewrite report that CompiledPlan keeps for
+// diagnostics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/ir.hpp"
+
+namespace mtlsplit::graph {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Applies the pass; returns the number of rewrites (0 = fixed point).
+  virtual int run(Graph& g) = 0;
+};
+
+struct PassReport {
+  std::string name;
+  double seconds = 0.0;
+  int rewrites = 0;
+};
+
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  /// Runs every pass once, in insertion order; returns per-pass reports.
+  std::vector<PassReport> run(Graph& g);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace mtlsplit::graph

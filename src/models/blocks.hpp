@@ -59,6 +59,8 @@ class MBConv final : public nn::Module {
   }
 
   bool has_residual() const { return residual_; }
+  nn::Sequential& path() { return path_; }
+  const MBConvConfig& config() const { return cfg_; }
 
  private:
   MBConvConfig cfg_;

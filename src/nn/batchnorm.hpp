@@ -28,6 +28,9 @@ class BatchNorm2d final : public Module {
   }
 
   int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
 

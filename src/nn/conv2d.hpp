@@ -37,7 +37,12 @@ class Conv2d final : public Module {
 
   int64_t in_channels() const { return in_c_; }
   int64_t out_channels() const { return out_c_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  bool has_bias() const { return with_bias_; }
   Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
 
  private:
   int64_t in_c_, out_c_, kernel_, stride_, pad_;
@@ -65,6 +70,12 @@ class DepthwiseConv2d final : public Module {
   }
 
   int64_t channels() const { return channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  bool has_bias() const { return with_bias_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
 
  private:
   int64_t channels_, kernel_, stride_, pad_;

@@ -23,6 +23,7 @@ class Linear final : public Module {
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return with_bias_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 

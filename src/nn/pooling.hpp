@@ -17,6 +17,9 @@ class MaxPool2d final : public Module {
   Shape output_shape(const Shape& in) const override;
   std::string name() const override { return "MaxPool2d"; }
 
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+
  private:
   int64_t kernel_, stride_;
   Shape cached_in_shape_;
@@ -32,6 +35,9 @@ class AvgPool2d final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Shape output_shape(const Shape& in) const override;
   std::string name() const override { return "AvgPool2d"; }
+
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
 
  private:
   int64_t kernel_, stride_;

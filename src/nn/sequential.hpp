@@ -51,6 +51,12 @@ class Sequential final : public Module {
   int64_t flops_prefix(const Shape& in, size_t k) const;
 
   size_t size() const { return layers_.size(); }
+  /// Human-readable, position-unique name for layer @p i, e.g. "Conv2d_3".
+  /// This is what partition boundaries and graph dumps print — the bare
+  /// type name repeats (a VGG stack is mostly "Conv2d"), the label doesn't.
+  std::string layer_label(size_t i) const {
+    return layer(i).name() + "_" + std::to_string(i);
+  }
   Module& layer(size_t i) {
     check_bounds(i < layers_.size(), "Sequential::layer: index out of range");
     return *layers_[i];

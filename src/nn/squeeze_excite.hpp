@@ -39,6 +39,10 @@ class SqueezeExcite final : public Module {
            mtlsplit::numel(in);
   }
 
+  int64_t channels() const { return channels_; }
+  Linear& fc1() { return fc1_; }
+  Linear& fc2() { return fc2_; }
+
  private:
   int64_t channels_;
   GlobalAvgPool pool_;

@@ -76,7 +76,72 @@ ScDeployment::ScDeployment(core::MtlSplitModel& model, Channel& channel,
       channel_(&channel),
       edge_(std::move(edge)),
       server_(std::move(server)),
-      cfg_(cfg) {}
+      cfg_(std::move(cfg)) {}
+
+void ScDeployment::ensure_compiled(const Tensor& x) {
+  if (cfg_.graph == GraphExec::kEager || graph_failed_) return;
+  if (model_->backbone().training()) {
+    // Weights may be mutating; drop any compiled state (its weight
+    // snapshots are stale) and retire the cache keys it was built under.
+    if (backbone_exec_) {
+      backbone_exec_.reset();
+      head_execs_.clear();
+      compiled_image_shape_.clear();
+      ++plan_generation_;
+    }
+    return;
+  }
+  const Shape img = image_shape_of(x);
+  if (backbone_exec_ && img == compiled_image_shape_) return;
+
+  if (!cfg_.plan_cache)
+    cfg_.plan_cache = std::make_shared<graph::PlanCache>();
+  graph::CompileOptions opts;
+  opts.exact = cfg_.graph != GraphExec::kFused;
+  const std::string suffix = msg_cat("/", shape_str(img), "/",
+                                     opts.exact ? "exact" : "fused", "/g",
+                                     plan_generation_);
+  try {
+    const Shape in = {1, img[0], img[1], img[2]};
+    auto bb_plan = cfg_.plan_cache->get_or_compile(
+        "bb" + suffix, model_->backbone(), in, opts);
+    const Shape zb_in = model_->backbone().output_shape(in);
+    std::vector<std::unique_ptr<graph::GraphExecutor>> heads;
+    heads.reserve(model_->num_tasks());
+    for (size_t j = 0; j < model_->num_tasks(); ++j) {
+      auto plan = cfg_.plan_cache->get_or_compile(
+          msg_cat("head", j, suffix), model_->head(j), zb_in, opts);
+      heads.push_back(std::make_unique<graph::GraphExecutor>(std::move(plan)));
+    }
+    backbone_exec_ = std::make_unique<graph::GraphExecutor>(std::move(bb_plan));
+    head_execs_ = std::move(heads);
+    compiled_image_shape_ = img;
+  } catch (const std::exception&) {
+    // A module the lowering does not know (or a non-NCHW pipeline): run
+    // eager permanently rather than re-attempting per call.
+    graph_failed_ = true;
+    backbone_exec_.reset();
+    head_execs_.clear();
+    compiled_image_shape_.clear();
+  }
+}
+
+Tensor ScDeployment::backbone_fwd(const Tensor& x) {
+  if (backbone_exec_ && !model_->backbone().training() && x.dim() == 4 &&
+      image_shape_of(x) == compiled_image_shape_)
+    return backbone_exec_->run(x);
+  return model_->forward_backbone(x);
+}
+
+std::vector<Tensor> ScDeployment::heads_fwd(const Tensor& zb) {
+  if (!head_execs_.empty() && !model_->backbone().training()) {
+    std::vector<Tensor> logits;
+    logits.reserve(head_execs_.size());
+    for (auto& ex : head_execs_) logits.push_back(ex->run(zb));
+    return logits;
+  }
+  return model_->forward_heads(zb);
+}
 
 Tensor ScDeployment::wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat) {
   // --- Edge side of the wire: serialise, then (optionally) entropy-code.
@@ -108,16 +173,17 @@ Tensor ScDeployment::wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat) {
 
 InferenceResult ScDeployment::infer(const Tensor& x) {
   InferenceResult out;
+  ensure_compiled(x);
   const auto t0 = std::chrono::steady_clock::now();
 
   // --- Edge device: shared backbone (Eq. 2).
-  const Tensor zb = model_->forward_backbone(x);
+  const Tensor zb = backbone_fwd(x);
   out.latency.edge_compute_s =
       edge_.compute_time(model_->backbone().flops(x.shape()));
 
   // --- Wire + server: real wire format, then the task heads (Eq. 3).
   const Tensor zb_rx = wire_roundtrip(zb, out.latency);
-  out.logits = model_->forward_heads(zb_rx);
+  out.logits = heads_fwd(zb_rx);
   out.latency.server_compute_s =
       server_.compute_time(heads_flops(*model_, zb_rx.shape()));
   out.latency.measured_wall_s = seconds_since(t0);
@@ -128,6 +194,7 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
   check_arg(x.dim() == 4 && x.size(0) > 0,
             "infer_batch: input must be [B, C, H, W] with B >= 1");
   BatchResult out;
+  ensure_compiled(x);
   const auto t0 = std::chrono::steady_clock::now();
   const int64_t b = x.size(0);
   out.items.resize(static_cast<size_t>(b));
@@ -136,7 +203,7 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
   // bitwise identical to single-sample execution because every kernel on
   // the path reduces each output row in a fixed per-row order (DESIGN.md
   // §7); the analytic latency is attributed per request at batch size 1.
-  const Tensor zb = model_->forward_backbone(x);
+  const Tensor zb = backbone_fwd(x);
   const double edge_s = edge_.compute_time(
       model_->backbone().flops({1, x.size(1), x.size(2), x.size(3)}));
 
@@ -173,7 +240,7 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
   if (!survivors.empty()) {
     const Tensor zb_rx = survivors.size() == 1 ? std::move(survivors[0])
                                                : ops::concat_batch(survivors);
-    std::vector<Tensor> logits = model_->forward_heads(zb_rx);
+    std::vector<Tensor> logits = heads_fwd(zb_rx);
     const double server_s =
         server_.compute_time(heads_flops(*model_, {1, zb_rx.size(1)}));
     for (size_t s = 0; s < owner.size(); ++s) {
@@ -204,6 +271,9 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
   const size_t n = inputs.size();
   out.results.resize(n);
   if (n == 0) return out;
+  // Compile on the caller BEFORE the stage threads spawn: the executors
+  // are immutable (and stage-private) once the pipeline is running.
+  ensure_compiled(inputs[0]);
 
   // Per-item intermediates handed between stages; each index is owned by
   // exactly one stage at a time, so no locking beyond the queues.
@@ -221,7 +291,7 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
   std::thread edge_thread([&] {
     try {
       for (size_t i = 0; i < n; ++i) {
-        zb[i] = model_->forward_backbone(inputs[i]);
+        zb[i] = backbone_fwd(inputs[i]);
         out.results[i].latency.edge_compute_s = edge_.compute_time(
             model_->backbone().flops(inputs[i].shape()));
         to_wire.push(i);
@@ -267,7 +337,7 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
     size_t i;
     while (to_server.pop(i)) {
       InferenceResult& r = out.results[i];
-      r.logits = model_->forward_heads(zb_rx[i]);
+      r.logits = heads_fwd(zb_rx[i]);
       r.latency.server_compute_s =
           server_.compute_time(heads_flops(*model_, zb_rx[i].shape()));
       r.latency.measured_wall_s = seconds_since(t0);

@@ -17,6 +17,7 @@
 #include <exception>
 #include <functional>
 
+#include "graph/executor.hpp"
 #include "mtl/mtl_model.hpp"
 #include "sc/channel.hpp"
 #include "sc/device.hpp"
@@ -62,12 +63,29 @@ struct InferenceResult {
 
 enum class ZbEncoding { kFloat32, kInt8 };
 
+/// How ScDeployment executes the model (graph/executor.hpp).
+enum class GraphExec : uint8_t {
+  kEager = 0,  ///< Module::forward per layer (the training path)
+  kExact = 1,  ///< compiled plan, bitwise identical to eager (default)
+  kFused = 2   ///< compiled plan with BatchNorm folding (~1e-5 tolerance)
+};
+
 struct ScDeploymentConfig {
   ZbEncoding encoding = ZbEncoding::kFloat32;
   /// WireCodec::kEntropy wraps every serialised Z_b in an entropy-coded
   /// frame (sc/wire_codec.hpp) before it crosses the channel. Coding is
   /// lossless, so served logits stay bitwise identical to kRaw.
   WireCodec codec = WireCodec::kRaw;
+  /// Execution engine for the backbone and heads. kExact keeps the served
+  /// logits bitwise identical to eager forward (the serving invariant) —
+  /// the compiler only removes allocation/zero-fill/cache overhead. The
+  /// deployment silently falls back to eager while the model is in
+  /// training mode or if a module cannot be lowered.
+  GraphExec graph = GraphExec::kExact;
+  /// Compiled-plan store. When null the deployment builds a private one;
+  /// ScServer injects a shared cache so every worker replica reuses the
+  /// plans replica 0 compiled (replicas share weights bitwise).
+  std::shared_ptr<graph::PlanCache> plan_cache;
 };
 
 /// Outcome of a pipelined stream inference (ScDeployment::infer_stream).
@@ -174,11 +192,35 @@ class ScDeployment {
   /// Fills the wire fields of @p lat. Throws on CRC/frame corruption.
   Tensor wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat);
 
+  /// Compiles backbone + head plans for per-sample image shape {C,H,W}
+  /// (no-op when eager, training, already compiled for this shape, or a
+  /// previous compile failed). Always runs on the calling thread BEFORE
+  /// any pipeline threads spawn, so the executors are immutable by the
+  /// time stages read them.
+  void ensure_compiled(const Tensor& x);
+  /// Backbone via the compiled plan when one matches @p x, eager otherwise.
+  Tensor backbone_fwd(const Tensor& x);
+  /// All task heads via their compiled plans (or eager fallback).
+  std::vector<Tensor> heads_fwd(const Tensor& zb);
+
   core::MtlSplitModel* model_;
   Channel* channel_;
   DeviceProfile edge_, server_;
   ScDeploymentConfig cfg_;
   WireTraffic last_stream_traffic_;
+
+  // Compiled-execution state. One executor per pipeline stage: the
+  // backbone executor serves stage 1 (the edge thread during a stream),
+  // the head executors serve stage 3 (the caller) — no executor is ever
+  // touched by two threads at once. The plans themselves are immutable
+  // and may be shared across deployments via cfg_.plan_cache.
+  Shape compiled_image_shape_;  ///< {C,H,W} the executors were built for
+  bool graph_failed_ = false;   ///< a lowering failed; stay eager
+  /// Bumped whenever the model re-enters training after a compile, so
+  /// post-training recompiles never hit a stale cached plan.
+  int plan_generation_ = 0;
+  std::unique_ptr<graph::GraphExecutor> backbone_exec_;
+  std::vector<std::unique_ptr<graph::GraphExecutor>> head_execs_;
 };
 
 /// Remote-only executor: ships the raw input, runs everything server-side.

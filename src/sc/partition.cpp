@@ -23,7 +23,7 @@ std::vector<SplitPoint> enumerate_split_points(const nn::Sequential& backbone,
   for (size_t k = 0; k <= backbone.size(); ++k) {
     SplitPoint p;
     p.index = k;
-    p.boundary = k == 0 ? "input" : backbone.layer(k - 1).name();
+    p.boundary = k == 0 ? "input" : backbone.layer_label(k - 1);
     p.cut_shape = backbone.output_shape_prefix(input_shape, k);
     p.cut_elems = numel(p.cut_shape);
     p.wire_bytes = wire_size_f32(p.cut_shape);

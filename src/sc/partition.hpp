@@ -28,7 +28,9 @@ namespace mtlsplit::sc {
 
 struct SplitPoint {
   size_t index = 0;          ///< cut after layer [index-1] (0 = RoC-like)
-  std::string boundary;      ///< name of the layer before the cut ("input")
+  std::string boundary;      ///< label of the layer before the cut, e.g.
+                             ///< "Conv2d_3" (Sequential::layer_label);
+                             ///< "input" for cut 0
   Shape cut_shape;           ///< tensor shape crossing the wire
   int64_t cut_elems = 0;
   int64_t wire_bytes = 0;    ///< float32 wire-format size

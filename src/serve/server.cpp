@@ -87,6 +87,12 @@ void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
   down_ticks_.assign(num_shards, 0);
   prototype_ = replicas[0];
 
+  // All replicas share weights bitwise (copy_model_state), so one plan
+  // cache serves every worker and every future minted replica: the first
+  // request compiles, the rest reuse the immutable plan.
+  if (!cfg_.deployment.plan_cache)
+    cfg_.deployment.plan_cache = std::make_shared<graph::PlanCache>();
+
   workers_.reserve(n);
   for (size_t w = 0; w < n; ++w) {
     check_arg(replicas[w] != nullptr, "ScServer: null model replica");
