@@ -499,9 +499,20 @@ Tensor wire_input(uint64_t seed) {
   return x;
 }
 
+/// FEC overhead knob of one sweep cell: parity / data packet rate. 0
+/// disables FEC; 1/8 maps to G=8 P=1, 1/4 to G=8 P=2.
+struct FecRate {
+  double overhead = 0.0;
+  int64_t fec_data = 0;
+  int64_t fec_parity = 0;
+};
+constexpr FecRate kFecRates[] = {
+    {0.0, 0, 0}, {1.0 / 8.0, 8, 1}, {1.0 / 4.0, 8, 2}};
+
 struct WireCell {
   bool codec = false;
   double loss_pct = 0.0;
+  FecRate fec;
   serve::ServeStats stats;
   int64_t submitted = 0;
   int64_t settled = 0;  // futures that resolved (value or typed error)
@@ -519,17 +530,20 @@ struct WireCell {
 /// cell, so they are computed once for the whole scenario).
 WireCell run_wire_cell(core::MtlSplitModel* model,
                        const std::vector<sc::InferenceResult>& want,
-                       bool codec, double loss_pct) {
+                       bool codec, double loss_pct, const FecRate& fec) {
   WireCell out;
   out.codec = codec;
   out.loss_pct = loss_pct;
+  out.fec = fec;
   sc::Channel link({.bandwidth_bps = 1e8,
                     .base_latency_s = 0.0002,
                     .seed = 1234 + static_cast<uint64_t>(loss_pct * 100),
-                    .link = {.mtu_bytes = 1200,
+                    .link = {.mtu_bytes = 256,
                              .loss_prob = static_cast<float>(loss_pct / 100.0),
                              .jitter_s = 0.0001,
-                             .max_retransmits = 8}});
+                             .max_retransmits = 8,
+                             .fec_data = fec.fec_data,
+                             .fec_parity = fec.fec_parity}});
   serve::ScServer server(
       {model}, link, sc::jetson_nano(), sc::rtx3090_server(),
       {.batching = {.max_batch_size = 4, .max_wait_us = 1000},
@@ -574,19 +588,60 @@ std::vector<WireCell> run_wire_scenario(bool* wire_ok) {
   want.reserve(kWireRequests);
   for (size_t i = 0; i < kWireRequests; ++i)
     want.push_back(ref.infer(wire_input(200000 + i)));
+  // The production-path sweep: codec on, loss x FEC overhead. Two
+  // codec-off baselines ride along so the raw-vs-coded comparison stays
+  // in the report.
   std::vector<WireCell> cells;
-  for (const bool codec : {false, true})
-    for (const double loss : {0.0, 1.0, 5.0})
-      cells.push_back(run_wire_cell(model.get(), want, codec, loss));
+  for (const double loss : {0.0, 5.0})
+    cells.push_back(run_wire_cell(model.get(), want, false, loss,
+                                  kFecRates[0]));
+  for (const double loss : {0.0, 1.0, 5.0, 10.0})
+    for (const FecRate& fec : kFecRates)
+      cells.push_back(run_wire_cell(model.get(), want, true, loss, fec));
   *wire_ok = true;
+  const WireCell* clean_nofec = nullptr;
   for (const WireCell& c : cells) {
     if (c.settled != c.submitted || !c.bitwise) *wire_ok = false;
     if (c.codec && c.ratio() > 0.6) *wire_ok = false;
-    // ~63 packets cross per cell: at 1% loss zero drops is a plausible
-    // draw, at 5% the link must visibly retransmit.
-    if (c.loss_pct >= 5.0 && c.stats.retransmits == 0) *wire_ok = false;
+    // Hundreds of packets cross per cell: at >= 5% loss a bare link must
+    // visibly retransmit.
+    if (c.loss_pct >= 5.0 && c.fec.fec_parity == 0 &&
+        c.stats.retransmits == 0)
+      *wire_ok = false;
+    // The zero-RTT claim, as a hard gate: at 1% loss the 1/8-rate parity
+    // absorbs every erasure receiver-side — packets were genuinely lost
+    // (repairs happened) yet not one retransmit round trip ran.
+    if (c.codec && c.loss_pct == 1.0 && c.fec.fec_parity == 1 &&
+        (c.stats.retransmits != 0 || c.stats.fec_repaired == 0))
+      *wire_ok = false;
+    // Nothing in the sweep may leave an erasure standing: FEC or the
+    // retransmit budget repairs everything at these loss rates.
+    if (c.stats.undelivered != 0) *wire_ok = false;
+    if (c.codec && c.loss_pct == 0.0 && c.fec.fec_parity == 0)
+      clean_nofec = &c;
+  }
+  // On a clean link parity is pure overhead: goodput must be maximal at
+  // FEC off (the crossover's left edge).
+  if (clean_nofec) {
+    for (const WireCell& c : cells)
+      if (c.codec && c.loss_pct == 0.0 && c.fec.fec_parity > 0 &&
+          c.stats.goodput_bytes_s() >= clean_nofec->stats.goodput_bytes_s())
+        *wire_ok = false;
   }
   return cells;
+}
+
+/// Best FEC overhead (by goodput) among this loss rate's codec-on cells —
+/// the repair-vs-retransmit crossover the JSON records per loss rate.
+double best_overhead_at(const std::vector<WireCell>& cells, double loss) {
+  double best_goodput = -1.0, best = 0.0;
+  for (const WireCell& c : cells)
+    if (c.codec && c.loss_pct == loss &&
+        c.stats.goodput_bytes_s() > best_goodput) {
+      best_goodput = c.stats.goodput_bytes_s();
+      best = c.fec.overhead;
+    }
+  return best;
 }
 
 /// Served outputs must match per-request sequential infer() bit for bit,
@@ -735,19 +790,25 @@ void write_json(const std::vector<CellResult>& cells,
   std::fprintf(f, "    \"image\": %lld,\n",
                static_cast<long long>(kWireImage));
   std::fprintf(f, "    \"encoding\": \"int8\",\n");
-  std::fprintf(f, "    \"mtu_bytes\": 1200,\n");
+  std::fprintf(f, "    \"mtu_bytes\": 256,\n");
   std::fprintf(f, "    \"max_retransmits\": 8,\n");
   std::fprintf(f, "    \"ok\": %s,\n", wire_ok ? "true" : "false");
   std::fprintf(f, "    \"cells\": [\n");
   for (size_t i = 0; i < wire.size(); ++i) {
     const WireCell& c = wire[i];
     std::fprintf(f, "      {\"codec\": %s, \"loss_pct\": %.1f, "
+                 "\"fec_overhead\": %.3f, \"fec_data\": %lld, "
+                 "\"fec_parity\": %lld, "
                  "\"submitted\": %lld, \"settled\": %lld, "
                  "\"completed\": %lld, \"failed\": %lld, "
                  "\"wire_bytes_raw\": %lld, \"wire_bytes\": %lld, "
                  "\"compression_ratio\": %.3f, \"retransmits\": %lld, "
+                 "\"fec_repaired\": %lld, \"undelivered\": %lld, "
+                 "\"goodput_bytes_s\": %.0f, \"window\": %.1f, "
                  "\"p99_ms\": %.3f, \"bitwise\": %s}%s\n",
-                 c.codec ? "true" : "false", c.loss_pct,
+                 c.codec ? "true" : "false", c.loss_pct, c.fec.overhead,
+                 static_cast<long long>(c.fec.fec_data),
+                 static_cast<long long>(c.fec.fec_parity),
                  static_cast<long long>(c.submitted),
                  static_cast<long long>(c.settled),
                  static_cast<long long>(c.stats.completed),
@@ -755,10 +816,29 @@ void write_json(const std::vector<CellResult>& cells,
                  static_cast<long long>(c.stats.wire_bytes_raw),
                  static_cast<long long>(c.stats.wire_bytes), c.ratio(),
                  static_cast<long long>(c.stats.retransmits),
+                 static_cast<long long>(c.stats.fec_repaired),
+                 static_cast<long long>(c.stats.undelivered),
+                 c.stats.goodput_bytes_s(), c.stats.link_window,
                  1e3 * c.stats.percentile(99), c.bitwise ? "true" : "false",
                  i + 1 < wire.size() ? "," : "");
   }
-  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "    ],\n");
+  // Repair-vs-retransmit crossover: per loss rate, the FEC overhead that
+  // maximised goodput, and the first loss rate where parity beat none.
+  std::fprintf(f, "    \"crossover\": {\n");
+  std::fprintf(f, "      \"best_overhead_by_loss\": [\n");
+  double first_win = -1.0;
+  const double kLosses[] = {0.0, 1.0, 5.0, 10.0};
+  for (size_t i = 0; i < 4; ++i) {
+    const double best = best_overhead_at(wire, kLosses[i]);
+    if (best > 0.0 && first_win < 0.0) first_win = kLosses[i];
+    std::fprintf(f, "        {\"loss_pct\": %.1f, \"best_overhead\": %.3f}%s\n",
+                 kLosses[i], best, i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "      ],\n");
+  std::fprintf(f, "      \"first_loss_pct_where_fec_wins\": %.1f\n",
+               first_win);
+  std::fprintf(f, "    }\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -861,27 +941,27 @@ int main() {
     std::printf("  (single-core host: replica parallelism cannot show a "
                 "wall-clock speedup here)\n");
 
-  std::printf("\nWire (VGG sparse-ReLU Z_b @ %lldpx, int8, MTU 1200, "
-              "codec x loss):\n",
+  std::printf("\nWire (VGG sparse-ReLU Z_b @ %lldpx, int8, MTU 256, "
+              "loss x FEC overhead):\n",
               static_cast<long long>(kWireImage));
   bool wire_ok = false;
   const std::vector<WireCell> wire = run_wire_scenario(&wire_ok);
-  std::printf("  %-6s | %5s | %9s | %9s | %6s | %7s | %8s | %s\n", "codec",
-              "loss", "raw B", "wire B", "ratio", "retrans", "p99 ms",
-              "settled/bitwise");
+  std::printf("  %-6s | %5s | %4s | %9s | %6s | %7s | %6s | %9s | %s\n",
+              "codec", "loss", "fec", "wire B", "ratio", "retrans",
+              "repair", "goodput", "settled/bitwise");
   for (const WireCell& c : wire)
-    std::printf("  %-6s | %4.1f%% | %9lld | %9lld | %6.3f | %7lld | %8.2f "
-                "| %lld/%lld %s\n",
-                c.codec ? "on" : "off", c.loss_pct,
-                static_cast<long long>(c.stats.wire_bytes_raw),
+    std::printf("  %-6s | %4.1f%% | %4.2f | %9lld | %6.3f | %7lld | %6lld "
+                "| %9.0f | %lld/%lld %s\n",
+                c.codec ? "on" : "off", c.loss_pct, c.fec.overhead,
                 static_cast<long long>(c.stats.wire_bytes), c.ratio(),
                 static_cast<long long>(c.stats.retransmits),
-                1e3 * c.stats.percentile(99),
+                static_cast<long long>(c.stats.fec_repaired),
+                c.stats.goodput_bytes_s(),
                 static_cast<long long>(c.settled),
                 static_cast<long long>(c.submitted),
                 c.bitwise ? "bitwise" : "DIVERGED");
-  std::printf("  wire scenario %s (codec ratio <= 0.6, exactly-once under "
-              "loss, bitwise survivors)\n",
+  std::printf("  wire scenario %s (codec ratio <= 0.6, zero-RTT FEC repair "
+              "at 1%% loss, exactly-once under loss, bitwise survivors)\n",
               wire_ok ? "OK" : "FAILED");
 
   std::printf(

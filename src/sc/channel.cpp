@@ -9,17 +9,9 @@ Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
             "Channel: degradation must be in [0, 1)");
   check_arg(cfg.corrupt_prob >= 0.0f && cfg.corrupt_prob <= 1.0f,
             "Channel: bad corruption probability");
-  const LinkModel& link = cfg.link;
-  check_arg(link.mtu_bytes >= 0, "Channel: negative MTU");
-  check_arg(link.loss_prob >= 0.0f && link.loss_prob <= 1.0f,
-            "Channel: bad packet loss probability");
-  check_arg(link.corrupt_prob >= 0.0f && link.corrupt_prob <= 1.0f,
-            "Channel: bad packet corruption probability");
-  check_arg(link.jitter_s >= 0.0, "Channel: negative jitter");
-  check_arg(link.max_retransmits >= 0, "Channel: negative retransmit budget");
-  check_arg(link.packet_overhead_bytes >= 0,
-            "Channel: negative packet overhead");
-  check_arg(link.drop_every_k >= 0, "Channel: negative drop period");
+  // The one place the link rules run: link_deliver assumes a validated
+  // model, so the per-message hot path repeats none of these checks.
+  validate_link(cfg.link);
 }
 
 Channel Channel::fork(uint64_t session) const {
@@ -47,14 +39,25 @@ std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
         8.0 / (cfg_.bandwidth_bps * (1.0 - cfg_.degradation));
     const LinkDelivery d = link_deliver(cfg_.link, per_byte_s,
                                         cfg_.base_latency_s, rng_,
-                                        &packet_seq_, message);
+                                        &link_session_, message);
     last_time_ = d.time_s;
     last_retransmits_ = d.retransmits;
+    last_fec_repaired_ = d.fec_repaired;
+    last_undelivered_ = d.undelivered;
+    last_goodput_ = d.goodput_bytes_s;
     packets_ += d.packets;
+    parity_packets_ += d.parity_packets;
     retransmits_ += d.retransmits;
+    fec_repaired_ += d.fec_repaired;
+    undelivered_ += d.undelivered;
   } else {
     last_time_ = transfer_time(bytes);
     last_retransmits_ = 0;
+    last_fec_repaired_ = 0;
+    last_undelivered_ = 0;
+    last_goodput_ = last_time_ > 0.0
+                        ? static_cast<double>(bytes) / last_time_
+                        : 0.0;
   }
   total_time_ += last_time_;
   total_bytes_ += bytes;
@@ -86,9 +89,17 @@ void Channel::reset_stats() {
   total_bytes_ = 0;
   messages_ = 0;
   packets_ = 0;
+  parity_packets_ = 0;
   retransmits_ = 0;
+  fec_repaired_ = 0;
+  undelivered_ = 0;
   last_time_ = 0.0;
   last_retransmits_ = 0;
+  last_fec_repaired_ = 0;
+  last_undelivered_ = 0;
+  last_goodput_ = 0.0;
+  // link_session_ is connection state, not statistics: the packet
+  // counter and congestion window survive a stats reset.
 }
 
 }  // namespace mtlsplit::sc

@@ -42,8 +42,10 @@ class Channel {
   /// "Transmits" a message: accounts time into total_time() and applies
   /// byte corruption per corrupt_prob. With the link model enabled the
   /// message is packetised; packets drop/corrupt deterministically from
-  /// the session RNG and a bounded retransmit loop recovers them (an
-  /// exhausted budget delivers an erasure that fails the CRC upstream).
+  /// the session RNG, FEC parity repairs up to fec_parity erasures per
+  /// frame group with zero extra round trips, and a window-paced
+  /// timeout/retransmit loop recovers the rest (an exhausted budget
+  /// delivers an erasure that fails the CRC upstream).
   /// Returns the received bytes. Virtual so fault-injection wrappers
   /// (FaultInjectChannel) can intercept the wire deterministically.
   virtual std::vector<uint8_t> transmit(std::vector<uint8_t> message);
@@ -70,16 +72,37 @@ class Channel {
   double total_time() const { return total_time_; }
   int64_t total_bytes() const { return total_bytes_; }
   int64_t messages_sent() const { return messages_; }
-  /// Packets pushed onto the wire (first attempts only; link mode).
+  /// Data packets pushed onto the wire (first attempts only; link mode).
   int64_t packets_sent() const { return packets_; }
+  /// FEC parity packets sent alongside the data (link mode with FEC).
+  int64_t parity_packets_sent() const { return parity_packets_; }
   /// Cumulative link-layer retransmissions across the session.
   int64_t retransmits() const { return retransmits_; }
+  /// Data packets rebuilt from FEC parity — erasures repaired with zero
+  /// extra round trips — across the session.
+  int64_t fec_repaired() const { return fec_repaired_; }
+  /// Data packets erased after FEC and the retransmit budget both failed;
+  /// each surfaces upstream as a typed CRC/decode error, never silently.
+  int64_t undelivered() const { return undelivered_; }
+  /// Current congestion window of this session, in packets (AIMD state;
+  /// window_init until the first link delivery runs).
+  double window() const {
+    return link_session_.cwnd >= 1.0 ? link_session_.cwnd
+                                     : cfg_.link.window_init;
+  }
   /// Modelled time of the most recent transmit() — equals
-  /// transfer_time(bytes) without a link model, and the packetised
+  /// transfer_time(bytes) without a link model, and the windowed
   /// jitter/retransmit accounting with one.
   double last_message_time_s() const { return last_time_; }
   /// Retransmissions the most recent transmit() needed.
   int64_t last_message_retransmits() const { return last_retransmits_; }
+  /// FEC repairs the most recent transmit() performed.
+  int64_t last_message_fec_repaired() const { return last_fec_repaired_; }
+  /// Erasures the most recent transmit() delivered.
+  int64_t last_message_undelivered() const { return last_undelivered_; }
+  /// Delivered payload bytes per second of modelled time for the most
+  /// recent transmit() (bytes / transfer time without a link model).
+  double last_message_goodput_bytes_s() const { return last_goodput_; }
   void reset_stats();
 
   const ChannelConfig& config() const { return cfg_; }
@@ -91,10 +114,16 @@ class Channel {
   int64_t total_bytes_ = 0;
   int64_t messages_ = 0;
   int64_t packets_ = 0;
+  int64_t parity_packets_ = 0;
   int64_t retransmits_ = 0;
-  int64_t packet_seq_ = 0;  // drives LinkModel::drop_every_k
+  int64_t fec_repaired_ = 0;
+  int64_t undelivered_ = 0;
+  LinkSession link_session_;  // packet counter + congestion window
   double last_time_ = 0.0;
   int64_t last_retransmits_ = 0;
+  int64_t last_fec_repaired_ = 0;
+  int64_t last_undelivered_ = 0;
+  double last_goodput_ = 0.0;
 };
 
 /// Deterministic fault schedule for FaultInjectChannel.

@@ -161,6 +161,11 @@ Tensor ScDeployment::wire_roundtrip(const Tensor& zb, LatencyBreakdown& lat) {
   std::vector<uint8_t> received = channel_->transmit(std::move(msg));
   lat.transfer_s = channel_->last_message_time_s();
   lat.retransmits = channel_->last_message_retransmits();
+  lat.fec_repaired = channel_->last_message_fec_repaired();
+  lat.undelivered = channel_->last_message_undelivered();
+  lat.link_window = channel_->config().link.enabled() ? channel_->window()
+                                                      : 0.0;
+  lat.goodput_bytes_s = channel_->last_message_goodput_bytes_s();
 
   // --- Server side: unframe (typed WireCodecError on a damaged frame),
   // deserialise (CRC-checked), dequantise below the quantise boundary.
@@ -233,6 +238,10 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
     out.wire_bytes += lat.wire_bytes;
     out.wire_bytes_raw += lat.wire_bytes_raw;
     out.retransmits += lat.retransmits;
+    out.fec_repaired += lat.fec_repaired;
+    out.undelivered += lat.undelivered;
+    out.wire_time_s += lat.transfer_s;
+    if (lat.link_window > 0.0) out.link_window = lat.link_window;
   }
 
   // --- Server: heads run once over the surviving sub-batch, then each
@@ -310,6 +319,11 @@ StreamResult ScDeployment::infer_stream(const std::vector<Tensor>& inputs,
     last_stream_traffic_.wire_bytes += lat.wire_bytes;
     last_stream_traffic_.wire_bytes_raw += lat.wire_bytes_raw;
     last_stream_traffic_.retransmits += lat.retransmits;
+    last_stream_traffic_.fec_repaired += lat.fec_repaired;
+    last_stream_traffic_.undelivered += lat.undelivered;
+    last_stream_traffic_.wire_time_s += lat.transfer_s;
+    if (lat.link_window > 0.0)
+      last_stream_traffic_.link_window = lat.link_window;
   };
   std::thread wire_thread([&] {
     try {
@@ -396,6 +410,9 @@ InferenceResult RocDeployment::infer(const Tensor& x) {
   const std::vector<uint8_t> received = channel_->transmit(std::move(wire));
   out.latency.transfer_s = channel_->last_message_time_s();
   out.latency.retransmits = channel_->last_message_retransmits();
+  out.latency.fec_repaired = channel_->last_message_fec_repaired();
+  out.latency.undelivered = channel_->last_message_undelivered();
+  out.latency.goodput_bytes_s = channel_->last_message_goodput_bytes_s();
   const WireTensor wt = deserialize_tensor(received);
   check_arg(wt.dtype == WireDtype::kFloat32, "RoC: unexpected wire dtype");
 

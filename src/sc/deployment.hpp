@@ -45,6 +45,18 @@ struct LatencyBreakdown {
   /// Link-layer retransmissions this message needed (0 without a
   /// LinkModel on the channel).
   int64_t retransmits = 0;
+  /// Data packets the receiver rebuilt from FEC parity — loss repaired
+  /// with zero extra round trips (0 without FEC on the link).
+  int64_t fec_repaired = 0;
+  /// Data packets erased after FEC and the retransmit budget both
+  /// failed. Never silent: a nonzero value always surfaces as a typed
+  /// CRC/decode failure on this message.
+  int64_t undelivered = 0;
+  /// Sender congestion window (packets) after this message (AIMD state;
+  /// 0 without a LinkModel).
+  double link_window = 0.0;
+  /// Delivered payload bytes per second of modelled wire time.
+  double goodput_bytes_s = 0.0;
   /// Measured wall-clock. For ScDeployment::infer this covers the whole
   /// call; for a pipelined stream it is the time from stream start until
   /// this item left the server stage.
@@ -120,6 +132,15 @@ struct BatchResult {
   int64_t wire_bytes_raw = 0;
   /// Total link-layer retransmissions across the batch's messages.
   int64_t retransmits = 0;
+  /// Total FEC parity repairs across the batch's messages.
+  int64_t fec_repaired = 0;
+  /// Total link erasures (undelivered packets) across the batch.
+  int64_t undelivered = 0;
+  /// Total modelled wire time across the batch's messages (denominator
+  /// of the batch's goodput).
+  double wire_time_s = 0.0;
+  /// Sender congestion window after the batch's last message.
+  double link_window = 0.0;
 };
 
 /// Split-computing executor for an MtlSplitModel.
@@ -180,6 +201,10 @@ class ScDeployment {
     int64_t wire_bytes = 0;
     int64_t wire_bytes_raw = 0;
     int64_t retransmits = 0;
+    int64_t fec_repaired = 0;
+    int64_t undelivered = 0;
+    double wire_time_s = 0.0;
+    double link_window = 0.0;  ///< window after the stream's last message
   };
   WireTraffic last_stream_traffic() const { return last_stream_traffic_; }
 

@@ -1,0 +1,192 @@
+#include "sc/fec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace mtlsplit::sc {
+
+namespace {
+
+// GF(2^8) arithmetic, polynomial 0x11D. exp table doubled so
+// gf_mul never reduces the log sum mod 255.
+struct GfTables {
+  std::array<uint8_t, 512> exp{};
+  std::array<uint8_t, 256> log{};
+  GfTables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+      log[static_cast<size_t>(x)] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i)
+      exp[static_cast<size_t>(i)] = exp[static_cast<size_t>(i - 255)];
+  }
+};
+const GfTables& gf() {
+  static const GfTables t;
+  return t;
+}
+
+uint8_t gf_mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = gf();
+  return t.exp[static_cast<size_t>(t.log[a]) + t.log[b]];
+}
+
+uint8_t gf_inv(uint8_t a) {
+  check_arg(a != 0, "fec: inverse of zero in GF(256)");
+  const GfTables& t = gf();
+  return t.exp[static_cast<size_t>(255 - t.log[a])];
+}
+
+/// Cauchy parity coefficient for parity row @p p over data column @p j
+/// with P parity shards: (x_0 ^ y_j) / (x_p ^ y_j), x_p = p,
+/// y_j = P + j. The x and y index sets are disjoint, so the denominator
+/// is never zero; the numerator scales each COLUMN of the raw Cauchy
+/// matrix 1/(x_p ^ y_j), which multiplies every square submatrix's
+/// determinant by a nonzero constant (invertibility is preserved) and
+/// normalises row 0 to all-ones — so single-parity groups (P == 1) are
+/// computed as one plain XOR pass.
+uint8_t cauchy(int64_t p, int64_t j, int64_t n_parity) {
+  const uint8_t num = static_cast<uint8_t>(n_parity + j);
+  return gf_mul(num, gf_inv(static_cast<uint8_t>(p ^ (n_parity + j))));
+}
+
+/// Multiply-accumulate one shard into an output row: out ^= coef * src.
+void gf_muladd_row(uint8_t* out, const uint8_t* src, size_t len,
+                   uint8_t coef) {
+  if (coef == 0) return;
+  if (coef == 1) {
+    for (size_t i = 0; i < len; ++i) out[i] ^= src[i];
+    return;
+  }
+  const GfTables& t = gf();
+  const size_t lc = t.log[coef];
+  for (size_t i = 0; i < len; ++i)
+    if (src[i] != 0)
+      out[i] ^= t.exp[lc + t.log[src[i]]];
+}
+
+}  // namespace
+
+std::vector<std::vector<uint8_t>> fec_encode(
+    const std::vector<std::vector<uint8_t>>& data, int64_t n_parity) {
+  const int64_t g = static_cast<int64_t>(data.size());
+  check_arg(g >= 1, "fec_encode: empty group");
+  check_arg(n_parity >= 1, "fec_encode: no parity shards requested");
+  check_arg(g + n_parity <= kFecMaxShards,
+            "fec_encode: group exceeds GF(256) shard budget");
+  const size_t len = data[0].size();
+  check_arg(len > 0, "fec_encode: zero-length shards");
+  for (const auto& d : data)
+    check_arg(d.size() == len, "fec_encode: unequal shard lengths");
+
+  std::vector<std::vector<uint8_t>> parity(
+      static_cast<size_t>(n_parity), std::vector<uint8_t>(len, 0));
+  for (int64_t p = 0; p < n_parity; ++p)
+    for (int64_t j = 0; j < g; ++j)
+      gf_muladd_row(parity[static_cast<size_t>(p)].data(),
+                    data[static_cast<size_t>(j)].data(), len,
+                    cauchy(p, j, n_parity));
+  return parity;
+}
+
+bool fec_decode(std::vector<std::vector<uint8_t>>& data,
+                const std::vector<std::vector<uint8_t>>& parity) {
+  const int64_t g = static_cast<int64_t>(data.size());
+  const int64_t np = static_cast<int64_t>(parity.size());
+  check_arg(g >= 1, "fec_decode: empty group");
+  check_arg(g + np <= kFecMaxShards,
+            "fec_decode: group exceeds GF(256) shard budget");
+
+  std::vector<int64_t> erased;
+  for (int64_t j = 0; j < g; ++j)
+    if (data[static_cast<size_t>(j)].empty()) erased.push_back(j);
+  if (erased.empty()) return true;
+
+  // Pick G surviving shards as the rows of the reconstruction system —
+  // surviving data rows first (identity rows keep the system sparse),
+  // then parity rows until the system is square.
+  struct Row {
+    int64_t shard;  // < g: data shard; >= g: parity shard - g
+  };
+  std::vector<Row> rows;
+  size_t len = 0;
+  for (int64_t j = 0; j < g; ++j)
+    if (!data[static_cast<size_t>(j)].empty()) {
+      rows.push_back({j});
+      len = data[static_cast<size_t>(j)].size();
+    }
+  for (int64_t p = 0; p < np && static_cast<int64_t>(rows.size()) < g; ++p)
+    if (!parity[static_cast<size_t>(p)].empty()) {
+      rows.push_back({g + p});
+      len = parity[static_cast<size_t>(p)].size();
+    }
+  if (static_cast<int64_t>(rows.size()) < g) return false;  // unrecoverable
+
+  for (const Row& r : rows) {
+    const auto& s = r.shard < g ? data[static_cast<size_t>(r.shard)]
+                                : parity[static_cast<size_t>(r.shard - g)];
+    check_arg(s.size() == len, "fec_decode: unequal shard lengths");
+  }
+
+  // Build the G x G generator submatrix A (A * original_data = received)
+  // and invert it by Gauss-Jordan over GF(256). Every square submatrix of
+  // the [identity; Cauchy] generator is invertible, so elimination never
+  // meets a zero pivot.
+  const size_t gs = static_cast<size_t>(g);
+  std::vector<uint8_t> a(gs * gs, 0), inv(gs * gs, 0);
+  for (size_t r = 0; r < gs; ++r) {
+    const int64_t shard = rows[r].shard;
+    if (shard < g) {
+      a[r * gs + static_cast<size_t>(shard)] = 1;
+    } else {
+      for (int64_t j = 0; j < g; ++j)
+        a[r * gs + static_cast<size_t>(j)] = cauchy(shard - g, j, np);
+    }
+    inv[r * gs + r] = 1;
+  }
+  for (size_t col = 0; col < gs; ++col) {
+    size_t piv = col;
+    while (piv < gs && a[piv * gs + col] == 0) ++piv;
+    check_arg(piv < gs, "fec_decode: singular reconstruction matrix");
+    if (piv != col)
+      for (size_t k = 0; k < gs; ++k) {
+        std::swap(a[piv * gs + k], a[col * gs + k]);
+        std::swap(inv[piv * gs + k], inv[col * gs + k]);
+      }
+    const uint8_t scale = gf_inv(a[col * gs + col]);
+    for (size_t k = 0; k < gs; ++k) {
+      a[col * gs + k] = gf_mul(a[col * gs + k], scale);
+      inv[col * gs + k] = gf_mul(inv[col * gs + k], scale);
+    }
+    for (size_t r = 0; r < gs; ++r) {
+      if (r == col) continue;
+      const uint8_t f = a[r * gs + col];
+      if (f == 0) continue;
+      for (size_t k = 0; k < gs; ++k) {
+        a[r * gs + k] ^= gf_mul(a[col * gs + k], f);
+        inv[r * gs + k] ^= gf_mul(inv[col * gs + k], f);
+      }
+    }
+  }
+
+  // original_data[j] = sum_r inv[j][r] * received[r]; only the erased
+  // rows need materialising.
+  for (const int64_t j : erased) {
+    std::vector<uint8_t> rebuilt(len, 0);
+    for (size_t r = 0; r < gs; ++r) {
+      const int64_t shard = rows[r].shard;
+      const auto& s = shard < g ? data[static_cast<size_t>(shard)]
+                                : parity[static_cast<size_t>(shard - g)];
+      gf_muladd_row(rebuilt.data(), s.data(), len,
+                    inv[static_cast<size_t>(j) * gs + r]);
+    }
+    data[static_cast<size_t>(j)] = std::move(rebuilt);
+  }
+  return true;
+}
+
+}  // namespace mtlsplit::sc

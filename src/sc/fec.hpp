@@ -1,0 +1,53 @@
+// Forward-error-correction parity for the packetised wire (DESIGN.md §9).
+//
+// The link groups consecutive data packets into frame groups of G data
+// shards and appends P parity shards computed over them. Any combination
+// of up to P erasures per group — data or parity, in any positions — is
+// repaired receiver-side from the survivors alone, with zero extra round
+// trips; only when a group loses more than P shards does the link fall
+// back to its timeout/retransmit path.
+//
+// The code is a systematic Reed-Solomon-style erasure code over GF(2^8)
+// (polynomial 0x11D). Parity rows come from a Cauchy matrix
+// C[p][j] = 1 / (x_p ^ y_j) with x_p = p and y_j = P + j: every square
+// submatrix of a Cauchy matrix is invertible, so ANY G of the G+P shards
+// reconstruct the data exactly — the same repair-vs-retry split DAOS's
+// object layer ships for storage erasures. P == 1 degenerates to plain
+// XOR parity (every Cauchy coefficient scales a 1-row system), so the
+// cheap common case costs one XOR pass per group.
+//
+// Shards within one group must share a byte length (the link pads the
+// tail packet with zeros for the parity math and truncates after repair).
+// Reconstruction is exact — repaired bytes are bitwise the encoder's
+// input — so FEC repair sits invisibly below the frame/tensor CRC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::sc {
+
+/// Maximum G + P per group: shard indices must be distinct GF(256)
+/// elements for the Cauchy construction.
+constexpr int64_t kFecMaxShards = 255;
+
+/// Computes @p n_parity parity shards over the equal-length @p data
+/// shards (1 <= data.size(), data.size() + n_parity <= kFecMaxShards).
+/// parity[p][i] = sum_j C[p][j] * data[j][i] over GF(2^8).
+std::vector<std::vector<uint8_t>> fec_encode(
+    const std::vector<std::vector<uint8_t>>& data, int64_t n_parity);
+
+/// Repairs one group in place. @p data holds the group's G data shards
+/// and @p parity the P parity shards fec_encode produced; an empty vector
+/// marks an erased shard. When at least G of the G+P shards survive,
+/// every erased data shard is reconstructed bitwise and the call returns
+/// true; otherwise the group is unrecoverable, data is left untouched,
+/// and the call returns false (the link then falls back to retransmit).
+/// Parity shards are never reconstructed. Surviving shards must all have
+/// the encoder's shard length.
+bool fec_decode(std::vector<std::vector<uint8_t>>& data,
+                const std::vector<std::vector<uint8_t>>& parity);
+
+}  // namespace mtlsplit::sc

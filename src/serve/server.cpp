@@ -281,8 +281,11 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
   try {
     sc::BatchResult br = w.deployment->infer_batch(
         parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
-    stats_.on_batch(static_cast<int64_t>(batch.size()), br.wire_bytes,
-                    br.wire_bytes_raw, br.retransmits);
+    stats_.on_batch(static_cast<int64_t>(batch.size()),
+                    serve::WireCounters{br.wire_bytes, br.wire_bytes_raw,
+                                        br.retransmits, br.fec_repaired,
+                                        br.undelivered, br.wire_time_s,
+                                        br.link_window});
     counted = true;
     size_t row = 0;
     const auto now = std::chrono::steady_clock::now();
@@ -320,6 +323,8 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
           merged.latency.wire_bytes += lat.wire_bytes;
           merged.latency.wire_bytes_raw += lat.wire_bytes_raw;
           merged.latency.retransmits += lat.retransmits;
+          merged.latency.fec_repaired += lat.fec_repaired;
+          merged.latency.undelivered += lat.undelivered;
         }
         r.promise.set_value(std::move(merged));
         stats_.on_request(seconds_between(r.enqueued_at, now), true);
@@ -384,7 +389,10 @@ void ScServer::serve_stream_request(Worker& w, Request& r) {
   const sc::ScDeployment::WireTraffic t =
       stream_ran ? w.deployment->last_stream_traffic()
                  : sc::ScDeployment::WireTraffic{};
-  stats_.on_batch(1, t.wire_bytes, t.wire_bytes_raw, t.retransmits);
+  stats_.on_batch(1, serve::WireCounters{t.wire_bytes, t.wire_bytes_raw,
+                                         t.retransmits, t.fec_repaired,
+                                         t.undelivered, t.wire_time_s,
+                                         t.link_window});
   stats_.on_request(seconds_between(r.enqueued_at, now), ok);
 }
 

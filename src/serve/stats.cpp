@@ -25,6 +25,12 @@ double ServeStats::percentile(double p) const {
   return 0.0;
 }
 
+double ServeStats::goodput_bytes_s() const {
+  return wire_time_s > 0.0
+             ? static_cast<double>(wire_bytes) / wire_time_s
+             : 0.0;
+}
+
 double ServeStats::mean_batch_size() const {
   if (batches == 0) return 0.0;
   return static_cast<double>(completed + failed) /
@@ -39,20 +45,33 @@ void StatsCollector::on_submit() {
   }
 }
 
-void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes,
-                              int64_t wire_bytes_raw, int64_t retransmits) {
+void StatsCollector::on_batch(int64_t batch_size, const WireCounters& wire) {
   check_arg(batch_size >= 1, "StatsCollector: empty batch");
   std::lock_guard<std::mutex> lk(mu_);
   stats_.batches = saturating_add(stats_.batches, 1);
-  stats_.wire_bytes = saturating_add(stats_.wire_bytes, wire_bytes);
-  stats_.wire_bytes_raw = saturating_add(
-      stats_.wire_bytes_raw, wire_bytes_raw < 0 ? wire_bytes : wire_bytes_raw);
-  stats_.retransmits = saturating_add(stats_.retransmits, retransmits);
+  stats_.wire_bytes = saturating_add(stats_.wire_bytes, wire.wire_bytes);
+  stats_.wire_bytes_raw =
+      saturating_add(stats_.wire_bytes_raw, wire.wire_bytes_raw);
+  stats_.retransmits = saturating_add(stats_.retransmits, wire.retransmits);
+  stats_.fec_repaired =
+      saturating_add(stats_.fec_repaired, wire.fec_repaired);
+  stats_.undelivered = saturating_add(stats_.undelivered, wire.undelivered);
+  stats_.wire_time_s += wire.wire_time_s;
+  if (wire.window > 0.0) stats_.link_window = wire.window;
   const int64_t bucket = std::min(batch_size, ServeStats::kBatchHistMax);
   if (static_cast<int64_t>(stats_.batch_hist.size()) <= bucket)
     stats_.batch_hist.resize(static_cast<size_t>(bucket) + 1, 0);
   stats_.batch_hist[static_cast<size_t>(bucket)] = saturating_add(
       stats_.batch_hist[static_cast<size_t>(bucket)], 1);
+}
+
+void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes,
+                              int64_t wire_bytes_raw, int64_t retransmits) {
+  WireCounters wire;
+  wire.wire_bytes = wire_bytes;
+  wire.wire_bytes_raw = wire_bytes_raw < 0 ? wire_bytes : wire_bytes_raw;
+  wire.retransmits = retransmits;
+  on_batch(batch_size, wire);
 }
 
 void StatsCollector::on_request(double e2e_latency_s, bool ok) {

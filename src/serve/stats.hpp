@@ -33,6 +33,19 @@ inline int64_t saturating_add(int64_t a, int64_t b) {
   return a + b;
 }
 
+/// Wire-side deltas of one server batch, as reported to
+/// StatsCollector::on_batch. Mirrors the link counters ScDeployment
+/// surfaces (BatchResult / WireTraffic).
+struct WireCounters {
+  int64_t wire_bytes = 0;      ///< bytes that crossed the link
+  int64_t wire_bytes_raw = 0;  ///< pre-codec serialised bytes
+  int64_t retransmits = 0;     ///< link-layer retransmissions
+  int64_t fec_repaired = 0;    ///< packets rebuilt from FEC parity
+  int64_t undelivered = 0;     ///< packets erased (typed failure upstream)
+  double wire_time_s = 0.0;    ///< modelled link time (goodput denominator)
+  double window = 0.0;         ///< sender congestion window after the batch
+};
+
 struct ServeStats {
   /// Batch sizes >= kBatchHistMax land in the final (overflow) bucket, so
   /// the histogram never grows past kBatchHistMax + 1 entries.
@@ -54,6 +67,18 @@ struct ServeStats {
   /// it is on.
   int64_t wire_bytes_raw = 0;
   int64_t retransmits = 0;  ///< link-layer retransmissions across the wire
+  /// Data packets rebuilt from FEC parity across the wire — loss that
+  /// cost zero extra round trips.
+  int64_t fec_repaired = 0;
+  /// Data packets the link erased after FEC + retransmit both failed;
+  /// every one surfaced as a typed wire failure on its request.
+  int64_t undelivered = 0;
+  /// Total modelled link time across the wire (seconds); the denominator
+  /// of goodput_bytes_s().
+  double wire_time_s = 0.0;
+  /// Most recent sender congestion window observed (packets; 0 when no
+  /// LinkModel is configured).
+  double link_window = 0.0;
   /// Active replicas per shard at snapshot time (autoscaler view).
   std::vector<int64_t> shard_replicas;
   /// Wall-clock from the first accepted request to the last completion.
@@ -68,6 +93,9 @@ struct ServeStats {
 
   /// Finished requests per wall-clock second.
   double throughput_rps() const;
+  /// Delivered wire bytes per second of modelled link time (0 until any
+  /// wire time has been accounted).
+  double goodput_bytes_s() const;
   /// Latency percentile estimate; @p p must be one of the tracked
   /// quantiles 50, 95, 99. Estimates are clamped monotone in p.
   double percentile(double p) const;
@@ -79,6 +107,9 @@ class StatsCollector {
  public:
   /// Marks wall-clock start at the first accepted request.
   void on_submit();
+  /// Full wire accounting for one server batch.
+  void on_batch(int64_t batch_size, const WireCounters& wire);
+  /// Convenience overload for wire-less callers/tests:
   /// @p wire_bytes_raw defaults to @p wire_bytes (codec off).
   void on_batch(int64_t batch_size, int64_t wire_bytes,
                 int64_t wire_bytes_raw = -1, int64_t retransmits = 0);

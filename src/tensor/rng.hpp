@@ -21,6 +21,14 @@ class Rng {
     return std::uniform_real_distribution<float>(lo, hi)(engine_);
   }
 
+  /// Uniform in [lo, hi) at full double precision. The float overload
+  /// quantises every draw to a 24-bit mantissa, which is visible when the
+  /// draws feed a double accumulator (e.g. modelled link time): use this
+  /// path wherever the consumer keeps time or probability in double.
+  double uniform_double(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
   /// Gaussian with the given mean / standard deviation.
   float normal(float mean = 0.0f, float stddev = 1.0f) {
     return std::normal_distribution<float>(mean, stddev)(engine_);

@@ -178,19 +178,121 @@ TEST(LinkChannel, ModelledTimeIsMonotoneInLossRate) {
   }
 }
 
-TEST(LinkChannel, PacketisationAccountsOverheadAndSetupPerPacket) {
-  // 1000 bytes over MTU 100 = 10 packets, each paying base latency and
-  // 32 bytes of header: the packetised time must exceed the analytic
-  // whole-message transfer_time and match the closed form exactly when
-  // nothing is random.
+TEST(LinkChannel, PacketisationAccountsOverheadAndWindowRounds) {
+  // 1000 bytes over MTU 100 = 10 packets. With the default AIMD window
+  // (init 4, +1 per clean round) the bursts are 4, 5, 1 — three round
+  // trips — and every packet pays its 32-byte header once. The time must
+  // match that closed form exactly when nothing is random, and still
+  // exceed the analytic whole-message transfer_time.
   sc::Channel ch({.bandwidth_bps = 1e8,
                   .base_latency_s = 0.001,
                   .link = {.mtu_bytes = 100}});
   (void)ch.transmit(std::vector<uint8_t>(1000, 7));
   const double per_byte = 8.0 / 1e8;
-  const double want = 10 * (0.001 + (100 + 32) * per_byte);
+  const double want = 3 * (2 * 0.001) + 10 * (100 + 32) * per_byte;
   EXPECT_NEAR(ch.last_message_time_s(), want, 1e-12);
   EXPECT_GT(ch.last_message_time_s(), ch.transfer_time(1000));
+  // Three clean rounds opened the window additively: 4 -> 7.
+  EXPECT_DOUBLE_EQ(ch.window(), 7.0);
+  EXPECT_DOUBLE_EQ(ch.last_message_time_s() *
+                       ch.last_message_goodput_bytes_s(),
+                   1000.0);
+}
+
+TEST(LinkChannel, WindowBacksOffOnLossAndRecovers) {
+  // Deterministic loss (first attempt of every 3rd packet) forces a
+  // multiplicative backoff in every round that saw a drop; clean rounds
+  // then reopen the window additively. The same traffic over a clean
+  // link must end with a wider window and less modelled time.
+  const sc::ChannelConfig lossy_cfg{.bandwidth_bps = 1e8,
+                                    .base_latency_s = 0.001,
+                                    .link = {.mtu_bytes = 100,
+                                             .drop_every_k = 3}};
+  sc::ChannelConfig clean_cfg = lossy_cfg;
+  clean_cfg.link.drop_every_k = 0;
+  sc::Channel lossy(lossy_cfg), clean(clean_cfg);
+  const auto msg = test_message(5000, 21);  // 50 packets
+  (void)lossy.transmit(msg);
+  (void)clean.transmit(msg);
+  EXPECT_GT(lossy.retransmits(), 0);
+  EXPECT_LT(lossy.window(), clean.window());
+  EXPECT_GT(lossy.last_message_time_s(), clean.last_message_time_s());
+  EXPECT_LT(lossy.last_message_goodput_bytes_s(),
+            clean.last_message_goodput_bytes_s());
+}
+
+// ------------------------------------------------- undelivered plumbing
+
+TEST(LinkChannel, UndeliveredCounterMatchesInjectedDropSchedule) {
+  // Satellite regression: erased packets used to be tallied inside
+  // link_deliver and then dropped on the floor by Channel — only
+  // observable as a downstream CRC failure. With no retransmit budget
+  // and the deterministic schedule dropping the first attempt of every
+  // 4th packet, a 12-packet message must surface exactly 3 erasures
+  // through the channel's own counter.
+  sc::Channel ch({.bandwidth_bps = 1e9,
+                  .link = {.mtu_bytes = 100,
+                           .max_retransmits = 0,
+                           .drop_every_k = 4}});
+  const auto msg = test_message(1200, 8);
+  const auto received = ch.transmit(msg);
+  EXPECT_EQ(ch.packets_sent(), 12);
+  EXPECT_EQ(ch.undelivered(), 3);  // packets 4, 8, 12
+  EXPECT_EQ(ch.last_message_undelivered(), 3);
+  EXPECT_EQ(ch.retransmits(), 0);  // no budget, so erasure — not retry
+  EXPECT_NE(received, msg);        // the zeroed spans are visible...
+  // ...and the next message continues the session schedule: packets
+  // 13..24 drop at sequence 16, 20, 24.
+  (void)ch.transmit(msg);
+  EXPECT_EQ(ch.undelivered(), 6);
+  // A CRC-framed payload over the same schedule fails typed, never
+  // silently (erasures always surface).
+  Tensor t({256});
+  Rng rng(4);
+  rng.fill_normal(t, 0.0f, 1.0f);
+  const auto received3 = ch.transmit(serialize_tensor(t));
+  EXPECT_THROW((void)deserialize_tensor(received3), std::invalid_argument);
+}
+
+// ------------------------------------------- double-precision jitter
+
+TEST(LinkChannel, JitterDrawsKeepDoublePrecision) {
+  // Satellite regression: the jitter draw used to narrow through
+  // Rng::uniform(float, float), quantising modelled time to 24-bit
+  // mantissas. The double path must produce draws a float cannot
+  // represent, and two seeds' modelled times must differ at double
+  // granularity.
+  Rng rng(11);
+  bool beyond_float = false;
+  for (int i = 0; i < 64 && !beyond_float; ++i) {
+    const double v = rng.uniform_double(0.0, 1.0);
+    beyond_float = v != static_cast<double>(static_cast<float>(v));
+  }
+  EXPECT_TRUE(beyond_float)
+      << "uniform_double draws collapse to float values";
+
+  const sc::ChannelConfig base{.bandwidth_bps = 1e8,
+                               .base_latency_s = 0.0001,
+                               .link = {.mtu_bytes = 100,
+                                        .jitter_s = 0.0005}};
+  sc::ChannelConfig other = base;
+  other.seed = base.seed + 1;
+  sc::Channel a(base), b(other);
+  const auto msg = test_message(1000, 2);
+  (void)a.transmit(msg);
+  (void)b.transmit(msg);
+  EXPECT_NE(a.last_message_time_s(), b.last_message_time_s());
+  // The jitter component carries double-mantissa bits: subtracting the
+  // deterministic (jitter-free) time leaves a residue no float-grained
+  // draw sum would produce.
+  sc::ChannelConfig quiet = base;
+  quiet.link.jitter_s = 0.0;
+  sc::Channel q(quiet);
+  (void)q.transmit(msg);
+  const double jitter_sum = a.last_message_time_s() - q.last_message_time_s();
+  EXPECT_GT(jitter_sum, 0.0);
+  EXPECT_NE(jitter_sum,
+            static_cast<double>(static_cast<float>(jitter_sum)));
 }
 
 TEST(LinkChannel, DisabledLinkKeepsLegacySemantics) {

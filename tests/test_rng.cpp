@@ -34,6 +34,23 @@ TEST(Rng, UniformRange) {
   }
 }
 
+TEST(Rng, UniformDoubleKeepsFullMantissa) {
+  // The double path exists so modelled link times are not quantised to
+  // float granularity (the jitter-narrowing regression): draws must stay
+  // in range, be deterministic per seed, and carry mantissa bits a float
+  // round-trip destroys.
+  Rng a(9), b(9);
+  bool beyond_float = false;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = a.uniform_double(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    EXPECT_DOUBLE_EQ(v, b.uniform_double(-2.0, 3.0));
+    beyond_float |= v != static_cast<double>(static_cast<float>(v));
+  }
+  EXPECT_TRUE(beyond_float);
+}
+
 TEST(Rng, RandintInclusiveBounds) {
   Rng rng(8);
   bool saw_lo = false, saw_hi = false;

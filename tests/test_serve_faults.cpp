@@ -276,6 +276,71 @@ TEST(FaultInject, LossyLinkDrillSettlesEveryRequestOnceAndBitwise) {
   EXPECT_EQ(s.wire_bytes_raw, wire_raw);
   EXPECT_EQ(s.retransmits, lossy.retransmits());
   EXPECT_GT(s.retransmits, 0);  // the drill actually dropped packets
+  // The FEC/erasure counters plumb through identically — no FEC is
+  // configured here and every loss was repaired within budget, so both
+  // sides must agree at zero (the non-zero paths are pinned by test_fec
+  // and the FEC serve drill below).
+  EXPECT_EQ(s.fec_repaired, lossy.fec_repaired());
+  EXPECT_EQ(s.undelivered, lossy.undelivered());
+  EXPECT_EQ(s.undelivered, 0);
+  // Link-time accounting feeds goodput, and the sender window survives
+  // the snapshot.
+  EXPECT_GT(s.wire_time_s, 0.0);
+  EXPECT_GT(s.goodput_bytes_s(), 0.0);
+  EXPECT_GE(s.link_window, 1.0);
+}
+
+TEST(FaultInject, FecServeDrillRepairsLossWithZeroRetransmits) {
+  // Zero-RTT serving drill: the deterministic schedule erases one packet
+  // per FEC frame group, so the server's whole run must complete with
+  // retransmits == 0 while fec_repaired counts every rebuilt packet —
+  // loss absorbed without a single extra round trip, logits bitwise.
+  FaultRig rig;
+  const serve::ServeConfig cfg{
+      .batching = {.max_batch_size = 4, .max_wait_us = 1000},
+      .deployment = {.encoding = sc::ZbEncoding::kInt8,
+                     .codec = sc::WireCodec::kEntropy}};
+  sc::Channel clean({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*rig.ref_model, clean, sc::jetson_nano(),
+                       sc::rtx3090_server(), cfg.deployment);
+
+  // Groups are 8 data + 1 parity = 9 packets on the wire; dropping every
+  // 11th packet (> group span) can never erase two packets of one group,
+  // so every loss is within the parity budget wherever message
+  // boundaries land.
+  sc::Channel lossy({.bandwidth_bps = 1e9,
+                     .base_latency_s = 0.0001,
+                     .seed = 77,
+                     .link = {.mtu_bytes = 96,
+                              .max_retransmits = 8,
+                              .drop_every_k = 11,
+                              .fec_data = 8,
+                              .fec_parity = 1}});
+  serve::ScServer server({rig.model.get()}, {&lossy}, sc::jetson_nano(),
+                         sc::rtx3090_server(), cfg);
+
+  constexpr size_t kN = 16;
+  std::vector<Tensor> inputs;
+  std::vector<std::future<sc::InferenceResult>> futures;
+  for (uint64_t i = 0; i < kN; ++i) {
+    inputs.push_back(rig.input(900 + i));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  for (size_t i = 0; i < kN; ++i) {
+    const sc::InferenceResult got = futures[i].get();
+    const sc::InferenceResult want = ref.infer(inputs[i]);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]))
+          << "request " << i << " diverged under FEC repair";
+  }
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<int64_t>(kN));
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.retransmits, 0);  // every erasure repaired zero-RTT
+  EXPECT_GT(s.fec_repaired, 0);
+  EXPECT_EQ(s.fec_repaired, lossy.fec_repaired());
+  EXPECT_EQ(s.undelivered, 0);
 }
 
 }  // namespace

@@ -145,6 +145,51 @@ TEST(ServeStats, WireTrafficSplitsCompressedRawAndRetransmits) {
   EXPECT_EQ(s.retransmits, 3);
 }
 
+TEST(ServeStats, WireCountersAccumulateFecAndGoodput) {
+  // Full wire accounting: FEC repairs and erasures accumulate, modelled
+  // link time sums into the goodput denominator, and the window tracks
+  // the most recent batch's sender state.
+  StatsCollector c;
+  serve::WireCounters w1;
+  w1.wire_bytes = 1000;
+  w1.wire_bytes_raw = 1600;
+  w1.retransmits = 2;
+  w1.fec_repaired = 3;
+  w1.undelivered = 1;
+  w1.wire_time_s = 0.5;
+  w1.window = 8.0;
+  serve::WireCounters w2;
+  w2.wire_bytes = 500;
+  w2.wire_bytes_raw = 700;
+  w2.fec_repaired = 1;
+  w2.wire_time_s = 0.25;
+  w2.window = 4.0;
+  c.on_batch(2, w1);
+  c.on_batch(1, w2);
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.wire_bytes, 1500);
+  EXPECT_EQ(s.wire_bytes_raw, 2300);
+  EXPECT_EQ(s.retransmits, 2);
+  EXPECT_EQ(s.fec_repaired, 4);
+  EXPECT_EQ(s.undelivered, 1);
+  EXPECT_DOUBLE_EQ(s.wire_time_s, 0.75);
+  EXPECT_DOUBLE_EQ(s.link_window, 4.0);  // latest batch wins
+  EXPECT_DOUBLE_EQ(s.goodput_bytes_s(), 1500.0 / 0.75);
+  // A wire-less batch (legacy overload) leaves the link fields alone and
+  // the goodput denominator unchanged.
+  c.on_batch(1, 100);
+  const ServeStats s2 = c.snapshot();
+  EXPECT_EQ(s2.fec_repaired, 4);
+  EXPECT_DOUBLE_EQ(s2.link_window, 4.0);
+  EXPECT_DOUBLE_EQ(s2.wire_time_s, 0.75);
+}
+
+TEST(ServeStats, GoodputIsZeroWithoutWireTime) {
+  StatsCollector c;
+  c.on_batch(1, 100);
+  EXPECT_DOUBLE_EQ(c.snapshot().goodput_bytes_s(), 0.0);
+}
+
 TEST(ServeStats, BatchHistogramIsBoundedWithOverflowBucket) {
   StatsCollector c;
   c.on_batch(3, 10);
