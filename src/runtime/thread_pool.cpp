@@ -5,12 +5,33 @@
 #include <exception>
 #include <string>
 
+#include "serve/telemetry.hpp"
 #include "tensor/check.hpp"
 
 namespace mtlsplit::runtime {
 
 namespace {
 thread_local bool tls_in_worker = false;
+
+// Process-global pool metrics ("runtime/pool/*" in telemetry::global()).
+// Lazily bound on first use so the registry's lifetime brackets the
+// updates; the references are stable for the registry's lifetime.
+struct PoolMetrics {
+  telemetry::Counter& tasks;   // parallel_for calls dispatched to workers
+  telemetry::Counter& chunks;  // chunks those dispatches fanned out
+  telemetry::Counter& serial;  // parallel_for calls that ran inline
+  telemetry::Gauge& threads;   // lanes in the global pool
+  PoolMetrics()
+      : tasks(telemetry::global().counter("runtime/pool/tasks")),
+        chunks(telemetry::global().counter("runtime/pool/chunks")),
+        serial(telemetry::global().counter("runtime/pool/serial")),
+        threads(telemetry::global().gauge("runtime/pool/threads")) {}
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 }  // namespace
 
 // One parallel_for invocation. Chunks are fixed up front; workers and the
@@ -98,12 +119,15 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end, int64_t grain,
   // Serial paths: single chunk, no workers, or already inside a pool chunk
   // (nested parallelism executes inline to avoid deadlock).
   if (num_chunks == 1 || workers_.empty() || tls_in_worker) {
+    pool_metrics().serial.inc();
     for (int64_t idx = 0; idx < num_chunks; ++idx) {
       const int64_t b = begin + idx * grain;
       fn(b, std::min(b + grain, end));
     }
     return;
   }
+  pool_metrics().tasks.inc();
+  pool_metrics().chunks.add(num_chunks);
 
   auto job = std::make_shared<Job>();
   job->fn = fn;
@@ -166,6 +190,7 @@ ThreadPool& global_pool() {
     g_pool_owner = std::make_unique<ThreadPool>(default_num_threads());
     p = g_pool_owner.get();
     g_pool.store(p, std::memory_order_release);
+    pool_metrics().threads.set(static_cast<double>(p->num_threads()));
   }
   return *p;
 }
@@ -179,6 +204,7 @@ void set_num_threads(int n) {
   g_pool_owner.reset();  // joins the old workers first
   g_pool_owner = std::make_unique<ThreadPool>(n);
   g_pool.store(g_pool_owner.get(), std::memory_order_release);
+  pool_metrics().threads.set(static_cast<double>(n));
 }
 
 void parallel_for(int64_t begin, int64_t end, int64_t grain,

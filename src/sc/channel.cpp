@@ -1,6 +1,22 @@
 #include "sc/channel.hpp"
 
+#include "serve/telemetry.hpp"
+
 namespace mtlsplit::sc {
+
+void Channel::bind_telemetry(telemetry::Registry& reg,
+                             const std::string& prefix) {
+  tm_.messages = &reg.counter(prefix + "/messages");
+  tm_.bytes = &reg.counter(prefix + "/bytes");
+  tm_.packets = &reg.counter(prefix + "/packets");
+  tm_.parity_packets = &reg.counter(prefix + "/parity_packets");
+  tm_.retransmits = &reg.counter(prefix + "/retransmits");
+  tm_.fec_repaired = &reg.counter(prefix + "/fec_repaired");
+  tm_.undelivered = &reg.counter(prefix + "/undelivered");
+  tm_.window = &reg.gauge(prefix + "/window");
+}
+
+void Channel::unbind_telemetry() { tm_ = TelemetryRefs{}; }
 
 Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   check_arg(cfg.bandwidth_bps > 0.0, "Channel: bandwidth must be positive");
@@ -50,6 +66,14 @@ std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
     retransmits_ += d.retransmits;
     fec_repaired_ += d.fec_repaired;
     undelivered_ += d.undelivered;
+    if (tm_.packets) {
+      tm_.packets->add(d.packets);
+      tm_.parity_packets->add(d.parity_packets);
+      tm_.retransmits->add(d.retransmits);
+      tm_.fec_repaired->add(d.fec_repaired);
+      tm_.undelivered->add(d.undelivered);
+      tm_.window->set(window());
+    }
   } else {
     last_time_ = transfer_time(bytes);
     last_retransmits_ = 0;
@@ -62,6 +86,10 @@ std::vector<uint8_t> Channel::transmit(std::vector<uint8_t> message) {
   total_time_ += last_time_;
   total_bytes_ += bytes;
   ++messages_;
+  if (tm_.messages) {
+    tm_.messages->inc();
+    tm_.bytes->add(bytes);
+  }
   if (cfg_.corrupt_prob > 0.0f) {
     for (uint8_t& b : message)
       if (rng_.bernoulli(cfg_.corrupt_prob))

@@ -18,6 +18,12 @@
 #include "sc/link.hpp"
 #include "tensor/rng.hpp"
 
+namespace mtlsplit::telemetry {
+class Registry;
+class Counter;
+class Gauge;
+}  // namespace mtlsplit::telemetry
+
 namespace mtlsplit::sc {
 
 struct ChannelConfig {
@@ -105,9 +111,32 @@ class Channel {
   double last_message_goodput_bytes_s() const { return last_goodput_; }
   void reset_stats();
 
+  /// Mirrors this session's counters into a telemetry tree under
+  /// @p prefix (e.g. "serve/shard0/link"): counters messages/bytes/
+  /// packets/parity_packets/retransmits/fec_repaired/undelivered plus
+  /// gauge window, updated on every transmit(). Several sessions bound
+  /// to one prefix share the metrics (per-shard aggregation). The
+  /// registry must outlive the binding — unbind_telemetry() before it
+  /// goes away (ScServer unbinds at shutdown). fork() starts unbound.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+  void unbind_telemetry();
+
   const ChannelConfig& config() const { return cfg_; }
 
  private:
+  /// Tree mirrors; null until bound. The int64_t members stay
+  /// authoritative for the accessors.
+  struct TelemetryRefs {
+    telemetry::Counter* messages = nullptr;
+    telemetry::Counter* bytes = nullptr;
+    telemetry::Counter* packets = nullptr;
+    telemetry::Counter* parity_packets = nullptr;
+    telemetry::Counter* retransmits = nullptr;
+    telemetry::Counter* fec_repaired = nullptr;
+    telemetry::Counter* undelivered = nullptr;
+    telemetry::Gauge* window = nullptr;
+  };
+  TelemetryRefs tm_;
   ChannelConfig cfg_;
   Rng rng_;
   double total_time_ = 0.0;

@@ -196,6 +196,7 @@ InferenceResult ScDeployment::infer(const Tensor& x) {
 }
 
 BatchResult ScDeployment::infer_batch(const Tensor& x) {
+  last_batch_traffic_ = {};
   check_arg(x.dim() == 4 && x.size(0) > 0,
             "infer_batch: input must be [B, C, H, W] with B >= 1");
   BatchResult out;
@@ -234,15 +235,26 @@ BatchResult ScDeployment::infer_batch(const Tensor& x) {
       item.error = std::current_exception();
     }
     // Wire traffic is accounted whether or not the message survived —
-    // the bytes crossed (and the retransmits happened) either way.
-    out.wire_bytes += lat.wire_bytes;
-    out.wire_bytes_raw += lat.wire_bytes_raw;
-    out.retransmits += lat.retransmits;
-    out.fec_repaired += lat.fec_repaired;
-    out.undelivered += lat.undelivered;
-    out.wire_time_s += lat.transfer_s;
-    if (lat.link_window > 0.0) out.link_window = lat.link_window;
+    // the bytes crossed (and the retransmits happened) either way. It
+    // accumulates message-by-message into last_batch_traffic_ so a
+    // post-wire failure (concat/heads below throwing) still leaves the
+    // traffic this batch consumed readable via last_batch_traffic().
+    last_batch_traffic_.wire_bytes += lat.wire_bytes;
+    last_batch_traffic_.wire_bytes_raw += lat.wire_bytes_raw;
+    last_batch_traffic_.retransmits += lat.retransmits;
+    last_batch_traffic_.fec_repaired += lat.fec_repaired;
+    last_batch_traffic_.undelivered += lat.undelivered;
+    last_batch_traffic_.wire_time_s += lat.transfer_s;
+    if (lat.link_window > 0.0)
+      last_batch_traffic_.link_window = lat.link_window;
   }
+  out.wire_bytes = last_batch_traffic_.wire_bytes;
+  out.wire_bytes_raw = last_batch_traffic_.wire_bytes_raw;
+  out.retransmits = last_batch_traffic_.retransmits;
+  out.fec_repaired = last_batch_traffic_.fec_repaired;
+  out.undelivered = last_batch_traffic_.undelivered;
+  out.wire_time_s = last_batch_traffic_.wire_time_s;
+  out.link_window = last_batch_traffic_.link_window;
 
   // --- Server: heads run once over the surviving sub-batch, then each
   // task's logit rows scatter back to the owning request.

@@ -208,6 +208,14 @@ class ScDeployment {
   };
   WireTraffic last_stream_traffic() const { return last_stream_traffic_; }
 
+  /// Aggregate wire traffic of the most recent infer_batch call,
+  /// accumulated message by message as the batch crosses the link. When
+  /// infer_batch throws *after* the wire loop (e.g. the post-wire
+  /// concat/head failure path), the traffic the batch consumed is still
+  /// here — the serve layer reads it on the error path so failed batches
+  /// keep their link accounting. Reset on entry to infer_batch.
+  WireTraffic last_batch_traffic() const { return last_batch_traffic_; }
+
   /// Edge-side working-set estimate (backbone params + activations).
   double edge_memory_bytes(const Shape& image_shape) const;
 
@@ -233,6 +241,7 @@ class ScDeployment {
   DeviceProfile edge_, server_;
   ScDeploymentConfig cfg_;
   WireTraffic last_stream_traffic_;
+  WireTraffic last_batch_traffic_;
 
   // Compiled-execution state. One executor per pipeline stage: the
   // backbone executor serves stage 1 (the edge thread during a stream),

@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include "serve/telemetry.hpp"
+
 namespace mtlsplit::serve {
 
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchingPolicy policy)
@@ -10,9 +12,20 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchingPolicy policy)
             "DynamicBatcher: max_wait_us must be >= 0");
 }
 
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatchingPolicy policy,
+                               telemetry::Registry* reg,
+                               const std::string& prefix)
+    : DynamicBatcher(queue, policy) {
+  if (reg) {
+    batches_ = &reg->counter(prefix + "/batches");
+    jumps_ = &reg->counter(prefix + "/jumps");
+  }
+}
+
 void DynamicBatcher::coalesce(std::vector<Request>& out) {
   const bool jump = policy_.high_priority_jumps &&
                     out.front().priority == Priority::kHigh;
+  if (jump && jumps_) jumps_->inc();
   // A high-priority leader dispatches with what is already queued (a
   // deadline in the past makes pop_until a try-pop).
   const auto deadline =
@@ -31,6 +44,7 @@ bool DynamicBatcher::next_batch(std::vector<Request>& out) {
   if (!queue_->pop(first)) return false;
   out.push_back(std::move(first));
   coalesce(out);
+  if (batches_) batches_->inc();
   return true;
 }
 
@@ -47,6 +61,7 @@ bool DynamicBatcher::next_batch_for(std::vector<Request>& out,
   }
   out.push_back(std::move(first));
   coalesce(out);
+  if (batches_) batches_->inc();
   return true;
 }
 

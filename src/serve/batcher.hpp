@@ -37,6 +37,13 @@ class DynamicBatcher {
  public:
   DynamicBatcher(RequestQueue& queue, BatchingPolicy policy);
 
+  /// As above, plus telemetry: registers "<prefix>/batches" (batches
+  /// formed) and "<prefix>/jumps" (high-priority leaders that skipped the
+  /// wait window) in @p reg. Paths are shared across batchers given the
+  /// same prefix (per-shard, not per-worker).
+  DynamicBatcher(RequestQueue& queue, BatchingPolicy policy,
+                 telemetry::Registry* reg, const std::string& prefix);
+
   /// Blocks for the next batch (at least one request). Returns false when
   /// the queue is closed and fully drained. Safe to run from several
   /// consumer threads over one queue — each request lands in exactly one
@@ -57,6 +64,8 @@ class DynamicBatcher {
 
   RequestQueue* queue_;
   BatchingPolicy policy_;
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* jumps_ = nullptr;
 };
 
 }  // namespace mtlsplit::serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "serve/telemetry.hpp"
+
 namespace mtlsplit::serve {
 
 namespace {
@@ -60,6 +62,43 @@ RequestQueue::RequestQueue(AdmissionConfig cfg) : cfg_(std::move(cfg)) {
   for (const auto& [client, spec] : cfg_.client_quota)
     check_arg(spec.rate >= 0.0 && spec.burst > 0.0,
               "RequestQueue: per-client quota rate must be >= 0, burst > 0");
+}
+
+void RequestQueue::set_capacity(size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_.capacity = capacity;
+  }
+  // Growing may have opened space for Block-policy submitters.
+  space_cv_.notify_all();
+}
+
+void RequestQueue::bind_telemetry(telemetry::Registry& reg,
+                                  const std::string& prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tm_.accepted = &reg.counter(prefix + "/accepted");
+  tm_.rejected = &reg.counter(prefix + "/rejected");
+  tm_.shed = &reg.counter(prefix + "/shed");
+  tm_.expired = &reg.counter(prefix + "/expired");
+  tm_.throttled = &reg.counter(prefix + "/throttled");
+  tm_.depth = &reg.gauge(prefix + "/depth");
+  // Catch up on anything tallied before binding (ScServer binds before
+  // serving starts, but a standalone queue may bind late).
+  tm_.accepted->add(static_cast<int64_t>(next_id_));
+  tm_.rejected->add(static_cast<int64_t>(rejected_));
+  tm_.shed->add(static_cast<int64_t>(shed_));
+  tm_.expired->add(static_cast<int64_t>(expired_));
+  tm_.throttled->add(static_cast<int64_t>(throttled_));
+  tm_.depth->set(static_cast<double>(total_));
+}
+
+void RequestQueue::note_admitted_locked() {
+  if (tm_.accepted) tm_.accepted->inc();
+  note_depth_locked();
+}
+
+void RequestQueue::note_depth_locked() {
+  if (tm_.depth) tm_.depth->set(static_cast<double>(total_));
 }
 
 void RequestQueue::settle_error(Request& r, std::exception_ptr err) {
@@ -161,6 +200,8 @@ void RequestQueue::shed_one(size_t cls) {
   --total_;
   if (victim->q.empty()) erase_lane(cs, victim);
   ++shed_;
+  if (tm_.shed) tm_.shed->inc();
+  note_depth_locked();
   settle_rejected(r, /*shed=*/true);
 }
 
@@ -174,6 +215,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
     // quota tokens and no queue space.
     if (r.expired(now)) {
       ++expired_;
+      if (tm_.expired) tm_.expired->inc();
       lk.unlock();
       settle_error(r, make_expired_error(ExpiryPhase::kAdmission));
       return;
@@ -187,6 +229,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
     double quota_spent = 0.0;
     if (!quota_admits(r, now, &retry_after_s, &quota_spent)) {
       ++throttled_;
+      if (tm_.throttled) tm_.throttled->inc();
       lk.unlock();
       settle_error(r, std::make_exception_ptr(ThrottledError(
                           "RequestQueue: tenant quota exceeded",
@@ -204,6 +247,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
           // Still full at the deadline: the wait is over, the request is
           // dead — settle it instead of blocking past its own deadline.
           ++expired_;
+          if (tm_.expired) tm_.expired->inc();
           refund_quota(r.client_id, quota_spent);
           lk.unlock();
           settle_error(r, make_expired_error(ExpiryPhase::kAdmission));
@@ -217,6 +261,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
       case AdmissionPolicy::kReject:
         if (full_for(cls)) {
           ++rejected_;
+          if (tm_.rejected) tm_.rejected->inc();
           refund_quota(r.client_id, quota_spent);
           lk.unlock();
           settle_rejected(r, /*shed=*/false);
@@ -242,6 +287,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
             }
           if (victim_cls == kNumPriorityClasses) {
             ++rejected_;
+            if (tm_.rejected) tm_.rejected->inc();
             refund_quota(r.client_id, quota_spent);
             lk.unlock();
             settle_rejected(r, /*shed=*/false);
@@ -262,6 +308,7 @@ void RequestQueue::enqueue_or_reject(Request&& r) {
     it->second->q.push_back(std::move(r));
     ++cs.depth;
     ++total_;
+    note_admitted_locked();
   }
   ready_cv_.notify_one();
 }
@@ -340,6 +387,8 @@ bool RequestQueue::take_next(Request& out, std::vector<Request>& expired) {
           --cs.depth;
           --total_;
           ++expired_;
+          if (tm_.expired) tm_.expired->inc();
+          note_depth_locked();
         }
         if (lane.q.empty()) {
           erase_lane(cs, cs.cursor);
@@ -357,6 +406,7 @@ bool RequestQueue::take_next(Request& out, std::vector<Request>& expired) {
           lane.deficit -= cost;
           --cs.depth;
           --total_;
+          note_depth_locked();
           if (lane.q.empty()) {
             // Idle lanes do not bank credit (classic DRR).
             erase_lane(cs, cs.cursor);

@@ -46,9 +46,16 @@
 #include <list>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "sc/deployment.hpp"
+
+namespace mtlsplit::telemetry {
+class Registry;
+class Counter;
+class Gauge;
+}  // namespace mtlsplit::telemetry
 
 namespace mtlsplit::serve {
 
@@ -230,6 +237,19 @@ class RequestQueue {
 
   const AdmissionConfig& admission() const { return cfg_; }
 
+  /// Replaces the total capacity bound at runtime — the SLO controller's
+  /// admission actuator. Growing it wakes blocked submitters; shrinking
+  /// never evicts already-queued requests, it only gates new admissions.
+  void set_capacity(size_t capacity);
+
+  /// Registers this queue's admission tallies and depth gauge under
+  /// @p prefix (e.g. "serve/shard0/queue") in @p reg: counters
+  /// accepted/rejected/shed/expired/throttled plus gauge depth. Call
+  /// before concurrent use; the queue then updates the tree on every
+  /// admission decision. Registration is idempotent, so the collector
+  /// reading these paths shares the same metrics.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   /// One client's FIFO lane within a priority class.
   struct ClientLane {
@@ -269,6 +289,11 @@ class RequestQueue {
   /// Locked. Pops the next live request into @p out; moves requests that
   /// expired while queued into @p expired (settle them after unlocking).
   bool take_next(Request& out, std::vector<Request>& expired);
+  /// Locked. Mirrors a tally/depth change into the telemetry tree; no-ops
+  /// until bind_telemetry ran.
+  void note_admitted_locked();
+  void note_depth_locked();
+
   static void settle_rejected(Request& r, bool shed);
   static void settle_error(Request& r, std::exception_ptr err);
   static void settle_expired_list(std::vector<Request>& expired,
@@ -287,6 +312,18 @@ class RequestQueue {
   uint64_t expired_ = 0;
   uint64_t throttled_ = 0;
   bool closed_ = false;
+  /// Telemetry-tree mirrors of the tallies above (null until bound). The
+  /// uint64_t members stay authoritative for the accessor methods; the
+  /// tree carries the same increments for the exporter and the collector.
+  struct TelemetryRefs {
+    telemetry::Counter* accepted = nullptr;
+    telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* shed = nullptr;
+    telemetry::Counter* expired = nullptr;
+    telemetry::Counter* throttled = nullptr;
+    telemetry::Gauge* depth = nullptr;
+  };
+  TelemetryRefs tm_;
 };
 
 }  // namespace mtlsplit::serve

@@ -81,11 +81,20 @@ void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
     check_arg(as.scale_up_backlog > as.scale_down_backlog,
               "ScServer: scale_up_backlog must exceed scale_down_backlog");
   }
-  for (size_t s = 0; s < num_shards; ++s)
+  if (cfg_.slo.enabled)
+    check_arg(cfg_.admission.capacity >= 1,
+              "ScServer: SLO control needs a bounded queue "
+              "(admission.capacity >= 1)");
+  for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(cfg_.admission));
+    shards_.back()->queue.bind_telemetry(
+        registry_, "serve/shard" + std::to_string(s) + "/queue");
+  }
+  stats_ = std::make_unique<StatsCollector>(&registry_, num_shards);
   up_ticks_.assign(num_shards, 0);
   down_ticks_.assign(num_shards, 0);
   prototype_ = replicas[0];
+  slo_scale_up_backlog_.store(as.scale_up_backlog, std::memory_order_relaxed);
 
   // All replicas share weights bitwise (copy_model_state), so one plan
   // cache serves every worker and every future minted replica: the first
@@ -100,15 +109,24 @@ void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
     replicas[w]->set_training(false);
     auto slot = std::make_unique<Worker>();
     slot->shard = w / per_shard;
+    sessions[w]->bind_telemetry(
+        registry_, "serve/shard" + std::to_string(slot->shard) + "/link");
+    bound_sessions_.push_back(sessions[w]);
     slot->deployment = std::make_unique<sc::ScDeployment>(
         *replicas[w], *sessions[w], edge_, server_, cfg_.deployment);
     workers_.push_back(std::move(slot));
   }
+  // Single-threaded still: no worker/controller thread exists yet.
+  update_replica_gauges_locked();
+  if (cfg_.slo.enabled)
+    slo_ = std::make_unique<SloController>(cfg_.slo, cfg_.admission.capacity,
+                                           as.scale_up_backlog, registry_);
   for (auto& w : workers_) {
     Worker* raw = w.get();
     raw->thread = std::thread([this, raw] { worker_loop(*raw); });
   }
   if (as.enabled) controller_ = std::thread([this] { autoscale_loop(); });
+  if (slo_) slo_thread_ = std::thread([this] { slo_loop(); });
 }
 
 ScServer::~ScServer() { shutdown(); }
@@ -132,13 +150,13 @@ size_t ScServer::route(uint64_t client_id) const {
 
 std::future<sc::InferenceResult> ScServer::submit(Tensor x,
                                                   SubmitOptions opts) {
-  stats_.on_submit();
+  stats_->on_submit();
   return shards_[route(opts.client_id)]->queue.submit(std::move(x), opts);
 }
 
 std::vector<std::future<sc::InferenceResult>> ScServer::submit_stream(
     Tensor x, SubmitOptions opts) {
-  stats_.on_submit();
+  stats_->on_submit();
   return shards_[route(opts.client_id)]->queue.submit_stream(std::move(x),
                                                              opts);
 }
@@ -146,36 +164,28 @@ std::vector<std::future<sc::InferenceResult>> ScServer::submit_stream(
 void ScServer::shutdown() {
   if (stopped_.exchange(true)) return;
   {
-    // Fence against the controller's predicate check so the notify below
-    // cannot slip between its stopped_ read and its wait.
+    // Fence against the controllers' predicate checks so the notify below
+    // cannot slip between their stopped_ read and their wait.
     std::lock_guard<std::mutex> lk(scale_mu_);
   }
   scale_cv_.notify_all();
   if (controller_.joinable()) controller_.join();
+  if (slo_thread_.joinable()) slo_thread_.join();
   for (auto& shard : shards_) shard->queue.close();
   // The controller is joined: workers_ can no longer grow or unpark.
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // Every thread that wrote wire telemetry is gone; detach injected
+  // sessions so callers keeping them alive past the server (and its
+  // registry) cannot write into freed metrics.
+  for (sc::Channel* ch : bound_sessions_) ch->unbind_telemetry();
+  bound_sessions_.clear();
 }
 
 ServeStats ScServer::stats() const {
-  ServeStats out = stats_.snapshot();
-  for (const auto& shard : shards_) {
-    out.rejected = saturating_add(
-        out.rejected, static_cast<int64_t>(shard->queue.rejected()));
-    out.shed =
-        saturating_add(out.shed, static_cast<int64_t>(shard->queue.shed()));
-    out.expired = saturating_add(
-        out.expired, static_cast<int64_t>(shard->queue.expired()));
-    out.throttled = saturating_add(
-        out.throttled, static_cast<int64_t>(shard->queue.throttled()));
-  }
-  std::lock_guard<std::mutex> lk(scale_mu_);
-  out.shard_replicas.assign(shards_.size(), 0);
-  for (const auto& w : workers_)
-    if (!w->parked && !w->retired.load(std::memory_order_acquire))
-      ++out.shard_replicas[w->shard];
-  return out;
+  // The whole snapshot — queue tallies, wire counters, replica census —
+  // is a read of the telemetry tree; no bespoke merging left here.
+  return stats_->snapshot();
 }
 
 size_t ScServer::num_workers() const {
@@ -188,7 +198,9 @@ size_t ScServer::num_workers() const {
 
 void ScServer::worker_loop(Worker& w) {
   Shard& own = *shards_[w.shard];
-  DynamicBatcher batcher(own.queue, cfg_.batching);
+  DynamicBatcher batcher(own.queue, cfg_.batching, &registry_,
+                         "serve/shard" + std::to_string(w.shard) +
+                             "/batcher");
   std::vector<Request> batch;
   const auto idle = std::chrono::microseconds(cfg_.idle_poll_us);
   // The bounded wait only pays for itself when an idle wake can lead to
@@ -207,13 +219,14 @@ void ScServer::worker_loop(Worker& w) {
     }
     if (!alive) break;  // own queue closed and fully drained
     if (cfg_.work_stealing && try_steal(w, batch)) {
-      stats_.on_stolen(static_cast<int64_t>(batch.size()));
+      stats_->on_stolen(static_cast<int64_t>(batch.size()));
       serve_batch(w, own, batch);
     }
   }
   // Park the slot: the autoscaler may resurrect it with a fresh thread.
   std::lock_guard<std::mutex> lk(scale_mu_);
   w.parked = true;
+  update_replica_gauges_locked();
 }
 
 bool ScServer::try_steal(const Worker& w, std::vector<Request>& out) {
@@ -248,7 +261,7 @@ void ScServer::serve_batch(Worker& w, Shard& sh, std::vector<Request>& batch) {
   // settle with DeadlineExceededError and never reach the model.
   const size_t dead =
       expire_overdue(batch, std::chrono::steady_clock::now());
-  if (dead > 0) stats_.on_expired(static_cast<int64_t>(dead));
+  if (dead > 0) stats_->on_expired(static_cast<int64_t>(dead));
   if (batch.empty()) return;
   sh.busy.fetch_add(static_cast<int64_t>(batch.size()),
                     std::memory_order_relaxed);
@@ -277,15 +290,19 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
     parts.push_back(std::move(r.x));
   }
   size_t settled = 0;      // requests whose promise has been fulfilled
-  bool counted = false;    // stats_.on_batch already recorded this batch
+  bool counted = false;    // stats_->on_batch already recorded this batch
+  bool infer_ran = false;  // infer_batch was entered (its traffic tally is live)
   try {
-    sc::BatchResult br = w.deployment->infer_batch(
-        parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts));
-    stats_.on_batch(static_cast<int64_t>(batch.size()),
-                    serve::WireCounters{br.wire_bytes, br.wire_bytes_raw,
-                                        br.retransmits, br.fec_repaired,
-                                        br.undelivered, br.wire_time_s,
-                                        br.link_window});
+    Tensor joined =
+        parts.size() == 1 ? std::move(parts[0]) : ops::concat_batch(parts);
+    infer_ran = true;  // infer_batch resets last_batch_traffic() on entry
+    sc::BatchResult br = w.deployment->infer_batch(joined);
+    stats_->on_batch(static_cast<int64_t>(batch.size()),
+                     serve::WireCounters{br.wire_bytes, br.wire_bytes_raw,
+                                         br.retransmits, br.fec_repaired,
+                                         br.undelivered, br.wire_time_s,
+                                         br.link_window},
+                     w.shard);
     counted = true;
     size_t row = 0;
     const auto now = std::chrono::steady_clock::now();
@@ -300,10 +317,10 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
         err = br.items[row + k].error;
       if (err) {
         r.promise.set_exception(err);
-        stats_.on_request(seconds_between(r.enqueued_at, now), false);
+        stats_->on_request(seconds_between(r.enqueued_at, now), false);
       } else if (rows == 1) {
         r.promise.set_value(std::move(br.items[row].result));
-        stats_.on_request(seconds_between(r.enqueued_at, now), true);
+        stats_->on_request(seconds_between(r.enqueued_at, now), true);
       } else {
         sc::InferenceResult merged;
         merged.latency = br.items[row].result.latency;
@@ -327,7 +344,7 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
           merged.latency.undelivered += lat.undelivered;
         }
         r.promise.set_value(std::move(merged));
-        stats_.on_request(seconds_between(r.enqueued_at, now), true);
+        stats_->on_request(seconds_between(r.enqueued_at, now), true);
       }
       settled = i + 1;
       row += rows;
@@ -339,11 +356,27 @@ void ScServer::serve_plain(Worker& w, std::vector<Request>& batch) {
     // throw keep their results — touching their promise again would
     // raise std::future_error and kill the worker.
     const std::exception_ptr err = std::current_exception();
-    if (!counted) stats_.on_batch(static_cast<int64_t>(batch.size()), 0);
+    if (!counted) {
+      // The wire work already happened even though the batch failed: a
+      // post-wire throw (decode/scatter) rode real bytes, retransmits and
+      // FEC repairs, and dropping them would understate link spend. The
+      // deployment's per-batch tally survives the throw; read it back the
+      // same way the stream path does. A pre-infer throw (shape mismatch
+      // during concat) genuinely moved nothing, so the tally is zero.
+      const sc::ScDeployment::WireTraffic t =
+          infer_ran ? w.deployment->last_batch_traffic()
+                    : sc::ScDeployment::WireTraffic{};
+      stats_->on_batch(static_cast<int64_t>(batch.size()),
+                       serve::WireCounters{t.wire_bytes, t.wire_bytes_raw,
+                                           t.retransmits, t.fec_repaired,
+                                           t.undelivered, t.wire_time_s,
+                                           t.link_window},
+                       w.shard);
+    }
     const auto now = std::chrono::steady_clock::now();
     for (size_t i = settled; i < batch.size(); ++i) {
       batch[i].promise.set_exception(err);
-      stats_.on_request(seconds_between(batch[i].enqueued_at, now), false);
+      stats_->on_request(seconds_between(batch[i].enqueued_at, now), false);
     }
   }
 }
@@ -389,11 +422,13 @@ void ScServer::serve_stream_request(Worker& w, Request& r) {
   const sc::ScDeployment::WireTraffic t =
       stream_ran ? w.deployment->last_stream_traffic()
                  : sc::ScDeployment::WireTraffic{};
-  stats_.on_batch(1, serve::WireCounters{t.wire_bytes, t.wire_bytes_raw,
-                                         t.retransmits, t.fec_repaired,
-                                         t.undelivered, t.wire_time_s,
-                                         t.link_window});
-  stats_.on_request(seconds_between(r.enqueued_at, now), ok);
+  stats_->on_batch(1,
+                   serve::WireCounters{t.wire_bytes, t.wire_bytes_raw,
+                                       t.retransmits, t.fec_repaired,
+                                       t.undelivered, t.wire_time_s,
+                                       t.link_window},
+                   w.shard);
+  stats_->on_request(seconds_between(r.enqueued_at, now), ok);
 }
 
 // ----------------------------------------------------------- autoscaler
@@ -419,7 +454,8 @@ void ScServer::scale_up_locked(size_t shard) {
       w.retired.store(false, std::memory_order_release);
       Worker* raw = &w;
       w.thread = std::thread([this, raw] { worker_loop(*raw); });
-      stats_.on_scale(true);
+      stats_->on_scale(true);
+      update_replica_gauges_locked();
       return;
     }
   }
@@ -439,10 +475,14 @@ void ScServer::scale_up_locked(size_t shard) {
   w->minted_model = std::move(model);
   w->deployment = std::make_unique<sc::ScDeployment>(
       *w->minted_model, *w->owned_session, edge_, server_, cfg_.deployment);
+  w->owned_session->bind_telemetry(
+      registry_, "serve/shard" + std::to_string(shard) + "/link");
+  bound_sessions_.push_back(w->owned_session.get());
   Worker* raw = w.get();
   raw->thread = std::thread([this, raw] { worker_loop(*raw); });
   workers_.push_back(std::move(w));
-  stats_.on_scale(true);
+  stats_->on_scale(true);
+  update_replica_gauges_locked();
 }
 
 void ScServer::scale_down_locked(size_t shard) {
@@ -453,7 +493,8 @@ void ScServer::scale_down_locked(size_t shard) {
     if (w.shard == shard && !w.parked &&
         !w.retired.load(std::memory_order_acquire)) {
       w.retired.store(true, std::memory_order_release);
-      stats_.on_scale(false);
+      stats_->on_scale(false);
+      update_replica_gauges_locked();
       return;
     }
   }
@@ -494,7 +535,13 @@ void ScServer::autoscale_loop() {
           static_cast<double>(
               shards_[s]->busy.load(std::memory_order_relaxed));
       const double per_replica = backlog / static_cast<double>(active);
-      if (per_replica >= as.scale_up_backlog && active < as.max_replicas) {
+      // The up-threshold is read through an atomic mirror: statically it is
+      // AutoscaleConfig::scale_up_backlog, but the SLO controller (when
+      // drive_autoscale is on) lowers it under violation pressure so the
+      // fleet grows before the backlog alone would justify it.
+      const double up_backlog =
+          slo_scale_up_backlog_.load(std::memory_order_relaxed);
+      if (per_replica >= up_backlog && active < as.max_replicas) {
         down_ticks_[s] = 0;
         if (++up_ticks_[s] >= as.hysteresis_ticks) {
           up_ticks_[s] = 0;
@@ -512,6 +559,36 @@ void ScServer::autoscale_loop() {
         down_ticks_[s] = 0;
       }
     }
+  }
+}
+
+// -------------------------------------------------------- SLO controller
+
+void ScServer::update_replica_gauges_locked() {
+  for (size_t s = 0; s < shards_.size(); ++s)
+    stats_->on_replicas(s, static_cast<int64_t>(active_workers_locked(s)));
+}
+
+void ScServer::slo_loop() {
+  std::unique_lock<std::mutex> lk(scale_mu_);
+  while (!stopped_.load(std::memory_order_acquire)) {
+    scale_cv_.wait_for(lk, std::chrono::microseconds(cfg_.slo.interval_us),
+                       [this] {
+                         return stopped_.load(std::memory_order_acquire);
+                       });
+    if (stopped_.load(std::memory_order_acquire)) break;
+    // The tick itself runs unlocked: draining the window and publishing
+    // gauges must not serialize against workers parking or the autoscaler.
+    lk.unlock();
+    const telemetry::HistSnapshot window = stats_->drain_latency_window();
+    const SloController::Decision d = slo_->tick(window);
+    if (d.acted) {
+      for (auto& sh : shards_) sh->queue.set_capacity(d.depth_cap);
+      if (cfg_.slo.drive_autoscale)
+        slo_scale_up_backlog_.store(d.scale_up_backlog,
+                                    std::memory_order_relaxed);
+    }
+    lk.lock();
   }
 }
 

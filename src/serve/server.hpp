@@ -49,6 +49,7 @@
 #include <thread>
 
 #include "serve/batcher.hpp"
+#include "serve/slo_controller.hpp"
 #include "serve/stats.hpp"
 
 namespace mtlsplit::serve {
@@ -94,6 +95,13 @@ struct ServeConfig {
   /// retirement and (if enabled) tries to steal.
   int64_t idle_poll_us = 1000;
   AutoscaleConfig autoscale;
+  /// Closed-loop SLO control (serve/slo_controller.hpp): when enabled the
+  /// server runs one controller thread that drains the windowed latency
+  /// histogram each interval and steers every shard queue's depth cap
+  /// (RequestQueue::set_capacity) — and, when slo.drive_autoscale, the
+  /// autoscaler's scale-up threshold — from measured p99-vs-target slack.
+  /// Requires admission.capacity >= 1 (the cap needs a bounded queue).
+  SloConfig slo;
   /// Z_b wire encoding, as in ScDeployment.
   sc::ScDeploymentConfig deployment;
 };
@@ -142,8 +150,15 @@ class ScServer {
 
   /// Statistics snapshot (including per-shard rejected/shed/expired/
   /// throttled tallies and the replica census); final once shutdown()
-  /// returned.
+  /// returned. Since the telemetry tree landed this is a pure read of
+  /// the tree — every field is derivable from telemetry_tree().
   ServeStats stats() const;
+
+  /// The server's metrics tree: every layer (queues, batcher, wire
+  /// sessions, autoscaler, SLO controller) reports here by path.
+  const telemetry::Registry& telemetry_tree() const { return registry_; }
+  /// JSON export of the whole tree (telemetry::Registry::to_json).
+  std::string telemetry_json() const { return registry_.to_json(); }
 
   /// Active (non-retired) workers across all shards. Moves with the
   /// autoscaler while it runs.
@@ -180,10 +195,14 @@ class ScServer {
   bool try_steal(const Worker& w, std::vector<Request>& out);
 
   void autoscale_loop();
+  void slo_loop();
   size_t active_workers_locked(size_t shard) const;
   void try_scale_up(size_t shard);  // locked; swallows mint failures
   void scale_up_locked(size_t shard);
   void scale_down_locked(size_t shard);
+  /// Re-publishes the per-shard replica-census gauges; call with
+  /// scale_mu_ held (or before any worker thread exists).
+  void update_replica_gauges_locked();
 
   ServeConfig cfg_;
   sc::DeviceProfile edge_, server_;
@@ -193,14 +212,25 @@ class ScServer {
   std::vector<std::unique_ptr<sc::Channel>> owned_boot_sessions_;
   core::MtlSplitModel* prototype_ = nullptr;  // weight source for minting
   uint64_t next_session_ = 0;                 // fork seed sequence
+  /// The metrics tree. Declared before shards_/workers_/stats_ so every
+  /// layer holding metric references is destroyed before the tree.
+  telemetry::Registry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  StatsCollector stats_;
+  std::unique_ptr<StatsCollector> stats_;  // built in start() (needs shards)
+  /// Channel sessions bound into registry_; unbound at shutdown so
+  /// injected sessions outliving the server stop writing into it.
+  std::vector<sc::Channel*> bound_sessions_;
   /// Guards workers_ (slot creation/park/unpark) against the autoscaler.
   mutable std::mutex scale_mu_;
   std::condition_variable scale_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<int> up_ticks_, down_ticks_;  // controller hysteresis state
   std::thread controller_;
+  std::unique_ptr<SloController> slo_;
+  std::thread slo_thread_;
+  /// The autoscaler's live scale-up threshold: AutoscaleConfig's static
+  /// value until the SLO controller (drive_autoscale) starts steering it.
+  std::atomic<double> slo_scale_up_backlog_{0.0};
   std::atomic<bool> stopped_{false};
 };
 

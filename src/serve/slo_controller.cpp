@@ -1,0 +1,79 @@
+#include "serve/slo_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace mtlsplit::serve {
+
+SloController::SloController(const SloConfig& cfg, size_t initial_depth,
+                             double base_scale_up_backlog,
+                             telemetry::Registry& reg)
+    : cfg_(cfg),
+      max_depth_(cfg.max_depth > 0 ? cfg.max_depth : initial_depth),
+      base_scale_up_backlog_(base_scale_up_backlog),
+      scale_up_backlog_(base_scale_up_backlog),
+      cap_gauge_(reg.gauge("serve/slo/depth_cap")),
+      backlog_gauge_(reg.gauge("serve/slo/scale_up_backlog")),
+      target_gauge_(reg.gauge("serve/slo/target_p99_s")),
+      p99_gauge_(reg.gauge("serve/slo/p99_window_s")),
+      slack_gauge_(reg.gauge("serve/slo/slack_s")),
+      ticks_(reg.counter("serve/slo/ticks")),
+      violations_(reg.counter("serve/slo/violations")) {
+  check_arg(cfg.target_p99_s > 0.0,
+            "SloController: target_p99_s must be > 0");
+  check_arg(cfg.interval_us >= 1000,
+            "SloController: interval_us must be >= 1000");
+  check_arg(cfg.min_window_samples >= 1,
+            "SloController: min_window_samples must be >= 1");
+  check_arg(cfg.min_depth >= 1, "SloController: min_depth must be >= 1");
+  check_arg(cfg.shrink > 0.0 && cfg.shrink < 1.0,
+            "SloController: shrink must be in (0, 1)");
+  check_arg(cfg.grow_margin > 0.0 && cfg.grow_margin <= 1.0,
+            "SloController: grow_margin must be in (0, 1]");
+  check_arg(cfg.min_scale_up_backlog > 0.0,
+            "SloController: min_scale_up_backlog must be > 0");
+  check_arg(initial_depth >= 1, "SloController: initial depth must be >= 1");
+  check_arg(max_depth_ >= cfg.min_depth,
+            "SloController: max_depth must be >= min_depth");
+  depth_cap_ = std::clamp(initial_depth, cfg_.min_depth, max_depth_);
+  cap_gauge_.set(static_cast<double>(depth_cap_));
+  backlog_gauge_.set(scale_up_backlog_);
+  target_gauge_.set(cfg_.target_p99_s);
+}
+
+SloController::Decision SloController::tick(
+    const telemetry::HistSnapshot& window) {
+  ticks_.inc();
+  if (window.count < cfg_.min_window_samples)
+    return {depth_cap_, scale_up_backlog_, false};
+
+  const double p99 = window.p99();
+  p99_gauge_.set(p99);
+  slack_gauge_.set(cfg_.target_p99_s - p99);
+
+  if (p99 > cfg_.target_p99_s) {
+    violations_.inc();
+    // Multiplicative decrease, always by at least one slot: a deep queue
+    // is the latency amplifier, so shedding early is the only way the
+    // requests we do admit still make the deadline.
+    const size_t shrunk = static_cast<size_t>(
+        std::floor(static_cast<double>(depth_cap_) * cfg_.shrink));
+    depth_cap_ = std::max(cfg_.min_depth, std::min(shrunk, depth_cap_ - 1));
+    scale_up_backlog_ =
+        std::max(cfg_.min_scale_up_backlog, scale_up_backlog_ * cfg_.shrink);
+  } else if (p99 < cfg_.grow_margin * cfg_.target_p99_s) {
+    // Additive increase while comfortably inside the SLO, recovering
+    // toward the configured settings.
+    depth_cap_ = std::min(max_depth_,
+                          depth_cap_ + std::max<size_t>(1, depth_cap_ / 8));
+    scale_up_backlog_ =
+        std::min(base_scale_up_backlog_, scale_up_backlog_ / cfg_.shrink);
+  }
+  cap_gauge_.set(static_cast<double>(depth_cap_));
+  backlog_gauge_.set(scale_up_backlog_);
+  return {depth_cap_, scale_up_backlog_, true};
+}
+
+}  // namespace mtlsplit::serve

@@ -1,11 +1,29 @@
 #include "serve/stats.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "tensor/check.hpp"
 
 namespace mtlsplit::serve {
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void store_max(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 double ServeStats::throughput_rps() const {
   const int64_t done = saturating_add(completed, failed);
@@ -33,36 +51,74 @@ double ServeStats::goodput_bytes_s() const {
 
 double ServeStats::mean_batch_size() const {
   if (batches == 0) return 0.0;
-  return static_cast<double>(completed + failed) /
+  // Both counters saturate at INT64_MAX, so a plain + here could overflow
+  // (signed UB) exactly in the long-run case the saturation exists for.
+  return static_cast<double>(saturating_add(completed, failed)) /
          static_cast<double>(batches);
 }
 
-void StatsCollector::on_submit() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!started_) {
-    started_ = true;
-    first_submit_ = std::chrono::steady_clock::now();
+StatsCollector::StatsCollector(telemetry::Registry* registry,
+                               size_t num_shards)
+    : owned_(registry ? nullptr : std::make_unique<telemetry::Registry>()),
+      reg_(registry ? registry : owned_.get()) {
+  check_arg(num_shards >= 1, "StatsCollector: num_shards must be >= 1");
+  telemetry::Registry& r = *reg_;
+  submitted_ = &r.counter("serve/requests/submitted");
+  completed_ = &r.counter("serve/requests/completed");
+  failed_ = &r.counter("serve/requests/failed");
+  expired_dispatch_ = &r.counter("serve/requests/expired_dispatch");
+  stolen_ = &r.counter("serve/requests/stolen");
+  scale_ups_ = &r.counter("serve/autoscale/ups");
+  scale_downs_ = &r.counter("serve/autoscale/downs");
+  batches_ = &r.counter("serve/batch/count");
+  batch_hist_.reserve(static_cast<size_t>(ServeStats::kBatchHistMax) + 1);
+  for (int64_t b = 0; b <= ServeStats::kBatchHistMax; ++b)
+    batch_hist_.push_back(
+        &r.counter("serve/batch/hist/" + std::to_string(b)));
+  wire_bytes_ = &r.counter("sc/link/wire_bytes");
+  wire_bytes_raw_ = &r.counter("sc/link/wire_bytes_raw");
+  retransmits_ = &r.counter("sc/link/retransmits");
+  fec_repaired_ = &r.counter("sc/link/fec_repaired");
+  undelivered_ = &r.counter("sc/link/undelivered");
+  wire_time_s_ = &r.gauge("sc/link/wire_time_s");
+  latency_ = &r.histogram("serve/requests/latency");
+  latency_window_ = &r.histogram("serve/requests/latency_window");
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::string p = "serve/shard" + std::to_string(s);
+    // Same paths each RequestQueue binds — idempotent registration makes
+    // them one shared tally, read here and written there.
+    shards_.push_back({&r.counter(p + "/queue/rejected"),
+                       &r.counter(p + "/queue/shed"),
+                       &r.counter(p + "/queue/expired"),
+                       &r.counter(p + "/queue/throttled"),
+                       &r.gauge(p + "/link/window"),
+                       &r.gauge(p + "/replicas")});
   }
 }
 
-void StatsCollector::on_batch(int64_t batch_size, const WireCounters& wire) {
+void StatsCollector::on_submit() {
+  submitted_->inc();
+  int64_t expected = 0;
+  first_submit_ns_.compare_exchange_strong(expected, now_ns(),
+                                           std::memory_order_relaxed);
+}
+
+void StatsCollector::on_batch(int64_t batch_size, const WireCounters& wire,
+                              size_t shard) {
   check_arg(batch_size >= 1, "StatsCollector: empty batch");
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_.batches = saturating_add(stats_.batches, 1);
-  stats_.wire_bytes = saturating_add(stats_.wire_bytes, wire.wire_bytes);
-  stats_.wire_bytes_raw =
-      saturating_add(stats_.wire_bytes_raw, wire.wire_bytes_raw);
-  stats_.retransmits = saturating_add(stats_.retransmits, wire.retransmits);
-  stats_.fec_repaired =
-      saturating_add(stats_.fec_repaired, wire.fec_repaired);
-  stats_.undelivered = saturating_add(stats_.undelivered, wire.undelivered);
-  stats_.wire_time_s += wire.wire_time_s;
-  if (wire.window > 0.0) stats_.link_window = wire.window;
+  check_arg(shard < shards_.size(), "StatsCollector: shard out of range");
+  batches_->inc();
+  wire_bytes_->add(wire.wire_bytes);
+  wire_bytes_raw_->add(wire.wire_bytes_raw);
+  retransmits_->add(wire.retransmits);
+  fec_repaired_->add(wire.fec_repaired);
+  undelivered_->add(wire.undelivered);
+  wire_time_s_->add(wire.wire_time_s);
+  // A wire-less batch (window 0) leaves the link gauge alone.
+  if (wire.window > 0.0) shards_[shard].window->set(wire.window);
   const int64_t bucket = std::min(batch_size, ServeStats::kBatchHistMax);
-  if (static_cast<int64_t>(stats_.batch_hist.size()) <= bucket)
-    stats_.batch_hist.resize(static_cast<size_t>(bucket) + 1, 0);
-  stats_.batch_hist[static_cast<size_t>(bucket)] = saturating_add(
-      stats_.batch_hist[static_cast<size_t>(bucket)], 1);
+  batch_hist_[static_cast<size_t>(bucket)]->inc();
 }
 
 void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes,
@@ -75,42 +131,84 @@ void StatsCollector::on_batch(int64_t batch_size, int64_t wire_bytes,
 }
 
 void StatsCollector::on_request(double e2e_latency_s, bool ok) {
-  std::lock_guard<std::mutex> lk(mu_);
   if (ok)
-    stats_.completed = saturating_add(stats_.completed, 1);
+    completed_->inc();
   else
-    stats_.failed = saturating_add(stats_.failed, 1);
-  stats_.lat_p50.add(e2e_latency_s);
-  stats_.lat_p95.add(e2e_latency_s);
-  stats_.lat_p99.add(e2e_latency_s);
-  stats_.max_latency_s = std::max(stats_.max_latency_s, e2e_latency_s);
-  last_done_ = std::chrono::steady_clock::now();
+    failed_->inc();
+  latency_->observe(e2e_latency_s);
+  latency_window_->observe(e2e_latency_s);
+  store_max(last_done_ns_, now_ns());
 }
 
-void StatsCollector::on_expired(int64_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_.expired = saturating_add(stats_.expired, n);
-}
+void StatsCollector::on_expired(int64_t n) { expired_dispatch_->add(n); }
 
-void StatsCollector::on_stolen(int64_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_.stolen = saturating_add(stats_.stolen, n);
-}
+void StatsCollector::on_stolen(int64_t n) { stolen_->add(n); }
 
 void StatsCollector::on_scale(bool up) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (up)
-    stats_.scale_ups = saturating_add(stats_.scale_ups, 1);
-  else
-    stats_.scale_downs = saturating_add(stats_.scale_downs, 1);
+  (up ? scale_ups_ : scale_downs_)->inc();
+}
+
+void StatsCollector::on_replicas(size_t shard, int64_t n) {
+  check_arg(shard < shards_.size(), "StatsCollector: shard out of range");
+  shards_[shard].replicas->set(static_cast<double>(n));
+}
+
+telemetry::HistSnapshot StatsCollector::drain_latency_window() {
+  return latency_window_->drain();
 }
 
 ServeStats StatsCollector::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  ServeStats out = stats_;
-  if (started_ && (out.completed + out.failed) > 0)
-    out.wall_s =
-        std::chrono::duration<double>(last_done_ - first_submit_).count();
+  ServeStats out;
+  out.completed = completed_->value();
+  out.failed = failed_->value();
+  out.stolen = stolen_->value();
+  out.scale_ups = scale_ups_->value();
+  out.scale_downs = scale_downs_->value();
+  out.batches = batches_->value();
+  out.wire_bytes = wire_bytes_->value();
+  out.wire_bytes_raw = wire_bytes_raw_->value();
+  out.retransmits = retransmits_->value();
+  out.fec_repaired = fec_repaired_->value();
+  out.undelivered = undelivered_->value();
+  out.wire_time_s = wire_time_s_->value();
+
+  out.expired = expired_dispatch_->value();
+  out.shard_link_window.resize(shards_.size(), 0.0);
+  out.shard_replicas.resize(shards_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardRefs& sh = shards_[s];
+    out.rejected = saturating_add(out.rejected, sh.rejected->value());
+    out.shed = saturating_add(out.shed, sh.shed->value());
+    out.expired = saturating_add(out.expired, sh.expired->value());
+    out.throttled = saturating_add(out.throttled, sh.throttled->value());
+    out.shard_link_window[s] = sh.window->value();
+    out.link_window = std::max(out.link_window, out.shard_link_window[s]);
+    out.shard_replicas[s] =
+        static_cast<int64_t>(std::llround(sh.replicas->value()));
+  }
+
+  // The compatibility histogram keeps its lazily-grown shape: sized to
+  // the highest bucket ever hit, plus one.
+  int64_t hi = -1;
+  for (int64_t b = 0; b <= ServeStats::kBatchHistMax; ++b)
+    if (batch_hist_[static_cast<size_t>(b)]->value() > 0) hi = b;
+  if (hi >= 0) {
+    out.batch_hist.assign(static_cast<size_t>(hi) + 1, 0);
+    for (int64_t b = 0; b <= hi; ++b)
+      out.batch_hist[static_cast<size_t>(b)] =
+          batch_hist_[static_cast<size_t>(b)]->value();
+  }
+
+  const telemetry::HistSnapshot lat = latency_->snapshot();
+  out.lat_p50 = lat.q50;
+  out.lat_p95 = lat.q95;
+  out.lat_p99 = lat.q99;
+  out.max_latency_s = lat.max;
+
+  const int64_t first = first_submit_ns_.load(std::memory_order_relaxed);
+  const int64_t last = last_done_ns_.load(std::memory_order_relaxed);
+  if (first != 0 && saturating_add(out.completed, out.failed) > 0)
+    out.wall_s = static_cast<double>(last - first) * 1e-9;
   return out;
 }
 

@@ -2,9 +2,17 @@
 // batch-size histogram (did dynamic batching actually coalesce?), wire
 // traffic, admission outcomes (rejected / shed / expired / throttled),
 // and lifecycle counters (work-steal pulls, autoscale events, per-shard
-// replica counts). A thread-safe
-// collector accumulates from the worker pool; a plain-value ServeStats
-// snapshot is what callers and BENCH_SERVING.json consume.
+// replica counts).
+//
+// Since the telemetry tree landed (serve/telemetry.hpp, DESIGN.md §11)
+// the collector is a *view builder*, not a ledger: every tally lives in a
+// telemetry::Registry — the same counters the queues, channels and
+// batcher update directly — and StatsCollector merely (a) registers the
+// canonical metric paths, (b) offers the historical on_* entry points
+// that forward to tree metrics, and (c) renders the plain-value
+// ServeStats compatibility snapshot by reading the tree. There is no
+// collector mutex left on the hot path: every update is a per-metric
+// atomic (or one-histogram spinlock).
 //
 // Memory is bounded for long-lived servers: latency percentiles are P²
 // streaming estimates (serve/p2_quantile.hpp), the batch-size histogram
@@ -13,25 +21,17 @@
 // of wrapping negative.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
-#include <limits>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "serve/p2_quantile.hpp"
+#include "serve/telemetry.hpp"
 
 namespace mtlsplit::serve {
 
-/// a + b clamped to [INT64_MIN, INT64_MAX]; both operands non-negative in
-/// practice, so the relevant clamp is the upper one.
-inline int64_t saturating_add(int64_t a, int64_t b) {
-  if (b >= 0 && a > std::numeric_limits<int64_t>::max() - b)
-    return std::numeric_limits<int64_t>::max();
-  if (b < 0 && a < std::numeric_limits<int64_t>::min() - b)
-    return std::numeric_limits<int64_t>::min();
-  return a + b;
-}
+using telemetry::saturating_add;
 
 /// Wire-side deltas of one server batch, as reported to
 /// StatsCollector::on_batch. Mirrors the link counters ScDeployment
@@ -76,9 +76,14 @@ struct ServeStats {
   /// Total modelled link time across the wire (seconds); the denominator
   /// of goodput_bytes_s().
   double wire_time_s = 0.0;
-  /// Most recent sender congestion window observed (packets; 0 when no
-  /// LinkModel is configured).
+  /// Largest per-shard congestion window at snapshot time (packets; 0
+  /// when no LinkModel is configured). The per-shard values are in
+  /// shard_link_window — a scalar across shards would be
+  /// last-writer-wins noise.
   double link_window = 0.0;
+  /// Most recent sender congestion window per shard ("serve/shardK/link/
+  /// window" gauges); empty only for a collector with zero shards.
+  std::vector<double> shard_link_window;
   /// Active replicas per shard at snapshot time (autoscaler view).
   std::vector<int64_t> shard_replicas;
   /// Wall-clock from the first accepted request to the last completion.
@@ -102,13 +107,36 @@ struct ServeStats {
   double mean_batch_size() const;
 };
 
-/// Thread-safe accumulator shared by ScServer's workers.
+/// Registers the canonical serving metric paths in a telemetry tree and
+/// renders ServeStats snapshots from it. Thread-safe: every on_* entry
+/// point updates per-metric atomics only.
+///
+/// Paths (docs/serving.md has the full table):
+///   serve/requests/{submitted,completed,failed,expired_dispatch,stolen}
+///   serve/requests/latency, serve/requests/latency_window   (histograms)
+///   serve/batch/count, serve/batch/hist/<0..64>
+///   serve/autoscale/{ups,downs}
+///   sc/link/{wire_bytes,wire_bytes_raw,retransmits,fec_repaired,
+///            undelivered}, sc/link/wire_time_s               (gauge)
+///   serve/shard<k>/queue/{rejected,shed,expired,throttled}
+///   serve/shard<k>/link/window, serve/shard<k>/replicas      (gauges)
+///
+/// The shard queue counters are the *same* metrics each RequestQueue
+/// binds (registration is idempotent), so rejected/shed/throttled and
+/// queue expiries are tallied once, at the queue, and simply read here.
 class StatsCollector {
  public:
+  /// Registers into @p registry, or into a private tree when null (the
+  /// standalone-collector mode unit tests use). @p num_shards sizes the
+  /// per-shard branches.
+  explicit StatsCollector(telemetry::Registry* registry = nullptr,
+                          size_t num_shards = 1);
+
   /// Marks wall-clock start at the first accepted request.
   void on_submit();
-  /// Full wire accounting for one server batch.
-  void on_batch(int64_t batch_size, const WireCounters& wire);
+  /// Full wire accounting for one server batch executed by @p shard.
+  void on_batch(int64_t batch_size, const WireCounters& wire,
+                size_t shard = 0);
   /// Convenience overload for wire-less callers/tests:
   /// @p wire_bytes_raw defaults to @p wire_bytes (codec off).
   void on_batch(int64_t batch_size, int64_t wire_bytes,
@@ -121,19 +149,57 @@ class StatsCollector {
   void on_stolen(int64_t n);
   /// One autoscaler event: a replica added (up) or retired (!up).
   void on_scale(bool up);
-  /// Note: rejected/shed/throttled and admission/queue expiries are
-  /// tallied by the RequestQueue that refused or evicted the request;
-  /// ScServer::stats() merges those per-shard counters into the snapshot.
-  /// The collector itself never counts them (a second tally here would
-  /// double-count).
+  /// Publishes @p shard's active replica count ("serve/shardK/replicas").
+  void on_replicas(size_t shard, int64_t n);
+
+  /// Takes and resets the windowed latency histogram — the SLO
+  /// controller's per-interval feedback signal. The cumulative
+  /// "serve/requests/latency" histogram is unaffected.
+  telemetry::HistSnapshot drain_latency_window();
+
+  telemetry::Registry& registry() { return *reg_; }
+  const telemetry::Registry& registry() const { return *reg_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The ServeStats compatibility view: every field is read straight off
+  /// the telemetry tree (no collector-private state beyond the wall-clock
+  /// endpoints).
   ServeStats snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  ServeStats stats_;
-  bool started_ = false;
-  std::chrono::steady_clock::time_point first_submit_;
-  std::chrono::steady_clock::time_point last_done_;
+  struct ShardRefs {
+    telemetry::Counter* rejected;
+    telemetry::Counter* shed;
+    telemetry::Counter* expired;
+    telemetry::Counter* throttled;
+    telemetry::Gauge* window;
+    telemetry::Gauge* replicas;
+  };
+
+  std::unique_ptr<telemetry::Registry> owned_;
+  telemetry::Registry* reg_;
+  telemetry::Counter* submitted_;
+  telemetry::Counter* completed_;
+  telemetry::Counter* failed_;
+  telemetry::Counter* expired_dispatch_;
+  telemetry::Counter* stolen_;
+  telemetry::Counter* scale_ups_;
+  telemetry::Counter* scale_downs_;
+  telemetry::Counter* batches_;
+  std::vector<telemetry::Counter*> batch_hist_;  // kBatchHistMax + 1
+  telemetry::Counter* wire_bytes_;
+  telemetry::Counter* wire_bytes_raw_;
+  telemetry::Counter* retransmits_;
+  telemetry::Counter* fec_repaired_;
+  telemetry::Counter* undelivered_;
+  telemetry::Gauge* wire_time_s_;
+  telemetry::Histogram* latency_;
+  telemetry::Histogram* latency_window_;
+  std::vector<ShardRefs> shards_;
+  // Wall-clock endpoints (steady-clock ns); first_submit_ns_ == 0 means
+  // no request was ever submitted.
+  std::atomic<int64_t> first_submit_ns_{0};
+  std::atomic<int64_t> last_done_ns_{0};
 };
 
 }  // namespace mtlsplit::serve

@@ -458,6 +458,51 @@ TEST(ScServer, ReplicaShardingRoutesAndServesEveryRequest) {
   }
 }
 
+TEST(ScServer, LinkWindowIsReportedPerShardNotLastWriterWins) {
+  // Regression: the congestion window used to be one scalar shared by
+  // every shard, so whichever worker finished last overwrote the rest —
+  // an idle shard's untouched link could mask (or be masked by) a busy
+  // one. Per shard: a hash-pinned client keeps shard B idle, so exactly
+  // one shard may report a live window and the idle one must stay 0.
+  ServeRig rig(/*replicas=*/2);
+  sc::Channel s0({.bandwidth_bps = 1e9,
+                  .base_latency_s = 0.0001,
+                  .link = {.mtu_bytes = 96, .max_retransmits = 8}});
+  sc::Channel s1({.bandwidth_bps = 1e9,
+                  .base_latency_s = 0.0001,
+                  .link = {.mtu_bytes = 96, .max_retransmits = 8}});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 2, .max_wait_us = 200};
+  cfg.replicas_per_shard = 1;
+  cfg.sharding = serve::ShardingPolicy::kHashClient;
+  cfg.work_stealing = false;  // keep the idle shard's link truly idle
+  serve::ScServer server({rig.models[0].get(), rig.models[1].get()},
+                         {&s0, &s1}, sc::jetson_nano(), sc::rtx3090_server(),
+                         cfg);
+  ASSERT_EQ(server.num_shards(), 2u);
+  std::vector<std::future<sc::InferenceResult>> futures;
+  for (uint64_t i = 0; i < 8; ++i)
+    futures.push_back(server.submit(rig.random_input(910 + i),
+                                    {.client_id = 42}));
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+  server.shutdown();
+
+  const serve::ServeStats s = server.stats();
+  ASSERT_EQ(s.shard_link_window.size(), 2u);
+  const size_t busy = s.shard_link_window[0] > 0.0 ? 0 : 1;
+  EXPECT_GE(s.shard_link_window[busy], 1.0)
+      << "the serving shard never reported its window";
+  EXPECT_DOUBLE_EQ(s.shard_link_window[1 - busy], 0.0)
+      << "the idle shard's window was clobbered by its sibling";
+  EXPECT_DOUBLE_EQ(s.link_window, s.shard_link_window[busy]);
+  // The same values, straight off the tree.
+  for (size_t sh = 0; sh < 2; ++sh)
+    EXPECT_DOUBLE_EQ(server.telemetry_tree().gauge_value(
+                         "serve/shard" + std::to_string(sh) + "/link/window"),
+                     s.shard_link_window[sh]);
+  EXPECT_EQ(s.completed, 8);
+}
+
 TEST(ScServer, SubmitAfterShutdownThrows) {
   ServeRig rig(1);
   sc::Channel link({.bandwidth_bps = 1e9});

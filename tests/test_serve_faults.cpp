@@ -9,6 +9,7 @@
 
 #include "mtl/model_factory.hpp"
 #include "serve/server.hpp"
+#include "tensor/serialize.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace mtlsplit {
@@ -199,6 +200,91 @@ TEST(FaultInject, StreamFaultSettlesEmittedChunksThenPoisonsTheTail) {
   // the channel's own byte counter exactly.
   EXPECT_EQ(s.wire_bytes, faulty.total_bytes());
   EXPECT_GT(s.wire_bytes, 0);
+}
+
+// ------------------------------------------- whole-batch failure accounting
+
+/// Delivers the @p swap_at-th wire message (1-based) as a validly
+/// serialized tensor of a different shape. The CRC passes and decode
+/// succeeds, so the per-item error isolation in infer_batch never fires —
+/// instead the post-wire sub-batch concat throws, failing the WHOLE batch
+/// after every message already crossed the link. This is the shape of
+/// failure that used to lose its wire accounting.
+class ShapeSwapChannel : public sc::Channel {
+ public:
+  ShapeSwapChannel(const sc::ChannelConfig& cfg, int64_t swap_at)
+      : Channel(cfg), swap_at_(swap_at) {}
+
+  std::vector<uint8_t> transmit(std::vector<uint8_t> message) override {
+    std::vector<uint8_t> received = Channel::transmit(std::move(message));
+    if (++seen_ == swap_at_)
+      return serialize_tensor(Tensor({1, 2, 1, 1}, 0.5f));
+    return received;
+  }
+
+ private:
+  int64_t swap_at_;
+  int64_t seen_ = 0;
+};
+
+TEST(FaultInject, FailedWholeBatchKeepsItsWireAccounting) {
+  // Regression: a whole-batch failure used to record on_batch(size, 0) —
+  // the real bytes, retransmits and link time the batch consumed before
+  // failing simply vanished from the stats. The server must report the
+  // traffic the channel actually carried, failure or not.
+  FaultRig rig;
+  ShapeSwapChannel swapper({.bandwidth_bps = 1e9}, /*swap_at=*/2);
+  serve::ScServer server({rig.model.get()}, {&swapper}, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 2,
+                                       .max_wait_us = 50000}});
+  // Two requests coalesce into one batch; message 2 decodes to the wrong
+  // shape, so the post-wire concat fails both requests at once.
+  auto f1 = server.submit(rig.input(400));
+  auto f2 = server.submit(rig.input(401));
+  EXPECT_THROW((void)f1.get(), std::invalid_argument);
+  EXPECT_THROW((void)f2.get(), std::invalid_argument);
+  server.shutdown();
+
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.failed, 2);
+  EXPECT_EQ(s.batches, 1);
+  // The channel's own session counters are the ground truth the stats
+  // must match exactly — both messages crossed before the batch died.
+  EXPECT_EQ(swapper.messages_sent(), 2);
+  EXPECT_GT(swapper.total_bytes(), 0);
+  EXPECT_EQ(s.wire_bytes, swapper.total_bytes());
+  EXPECT_EQ(s.wire_bytes_raw, swapper.total_bytes());  // codec off
+  EXPECT_DOUBLE_EQ(s.wire_time_s, swapper.total_time());
+  EXPECT_EQ(s.retransmits, swapper.retransmits());
+  EXPECT_GT(s.goodput_bytes_s(), 0.0);
+}
+
+TEST(FaultInject, PreWireBatchFailureReportsZeroTraffic) {
+  // The complementary direction: when coalesced requests disagree on
+  // shape, the batch dies in the server's own concat BEFORE infer_batch
+  // runs — no message was sent, so the wire tally must stay zero rather
+  // than pick up a stale earlier batch's traffic.
+  FaultRig rig;
+  sc::Channel session({.bandwidth_bps = 1e9});
+  serve::ScServer server({rig.model.get()}, {&session}, sc::jetson_nano(),
+                         sc::rtx3090_server(),
+                         {.batching = {.max_batch_size = 2,
+                                       .max_wait_us = 50000}});
+  auto f1 = server.submit(rig.input(500));          // [1, 3, 16, 16]
+  auto f2 = server.submit(Tensor({1, 3, 8, 8}, 0.1f));  // mismatched H, W
+  EXPECT_THROW((void)f1.get(), std::invalid_argument);
+  EXPECT_THROW((void)f2.get(), std::invalid_argument);
+  server.shutdown();
+
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.failed, 2);
+  EXPECT_EQ(s.batches, 1);
+  EXPECT_EQ(session.messages_sent(), 0);
+  EXPECT_EQ(s.wire_bytes, 0);
+  EXPECT_DOUBLE_EQ(s.wire_time_s, 0.0);
 }
 
 // ------------------------------------------------------ lossy-link drill

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <random>
+#include <stdexcept>
 #include <thread>
 
 #include "mtl/model_factory.hpp"
@@ -526,6 +527,169 @@ TEST(ServerQuota, ThrottledTenantGetsTypedErrorOthersUnaffected) {
   const serve::ServeStats s = server.stats();
   EXPECT_EQ(s.throttled, 7);
   EXPECT_EQ(s.completed, 9);
+}
+
+// ------------------------------------------------- SLO feedback control
+
+/// A drained latency window of @p n samples all at @p value seconds.
+telemetry::HistSnapshot slo_window(int n, double value) {
+  telemetry::Histogram h;
+  for (int i = 0; i < n; ++i) h.observe(value);
+  return h.drain();
+}
+
+TEST(SloControl, AimdShrinksUnderViolationAndRecoversUnderComfort) {
+  telemetry::Registry reg;
+  serve::SloConfig cfg;
+  cfg.enabled = true;
+  cfg.target_p99_s = 0.1;
+  cfg.min_window_samples = 4;
+  cfg.min_depth = 2;
+  cfg.shrink = 0.5;
+  cfg.grow_margin = 0.7;
+  cfg.min_scale_up_backlog = 1.0;
+  serve::SloController c(cfg, /*initial_depth=*/64,
+                         /*base_scale_up_backlog=*/8.0, reg);
+  EXPECT_EQ(c.depth_cap(), 64u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/slo/depth_cap"), 64.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/slo/target_p99_s"), 0.1);
+
+  // A thin window (fewer completions than min_window_samples) carries no
+  // signal: the tick counts but the actuators stay put.
+  const auto idle = c.tick(slo_window(2, 10.0));
+  EXPECT_FALSE(idle.acted);
+  EXPECT_EQ(c.depth_cap(), 64u);
+  EXPECT_EQ(reg.counter_value("serve/slo/ticks"), 1);
+  EXPECT_EQ(reg.counter_value("serve/slo/violations"), 0);
+
+  // Sustained violation: multiplicative decrease 64 -> 32 -> ... -> 2,
+  // floored at min_depth; the autoscale threshold halves alongside and
+  // floors at min_scale_up_backlog.
+  const size_t caps[] = {32, 16, 8, 4, 2, 2};
+  const double backlogs[] = {4.0, 2.0, 1.0, 1.0, 1.0, 1.0};
+  for (size_t i = 0; i < 6; ++i) {
+    const auto d = c.tick(slo_window(8, 0.5));
+    EXPECT_TRUE(d.acted);
+    EXPECT_EQ(d.depth_cap, caps[i]) << "violation tick " << i;
+    EXPECT_DOUBLE_EQ(d.scale_up_backlog, backlogs[i]);
+  }
+  EXPECT_EQ(reg.counter_value("serve/slo/violations"), 6);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/slo/depth_cap"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/slo/p99_window_s"), 0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/slo/slack_s"), 0.1 - 0.5);
+
+  // The dead zone (inside the SLO but above the comfort margin) holds the
+  // actuators still — no oscillation against the boundary.
+  const auto hold = c.tick(slo_window(8, 0.08));
+  EXPECT_TRUE(hold.acted);
+  EXPECT_EQ(hold.depth_cap, 2u);
+
+  // Comfort: additive growth all the way back to the initial depth and
+  // the configured backlog threshold, never past either.
+  for (int i = 0; i < 100; ++i) (void)c.tick(slo_window(8, 0.01));
+  EXPECT_EQ(c.depth_cap(), 64u);
+  EXPECT_DOUBLE_EQ(c.scale_up_backlog(), 8.0);
+  EXPECT_EQ(reg.counter_value("serve/slo/violations"), 6);
+}
+
+TEST(SloControl, CtorValidatesConfig) {
+  telemetry::Registry reg;
+  serve::SloConfig ok;
+  ok.target_p99_s = 0.1;
+  auto with = [&](auto mutate) {
+    serve::SloConfig c = ok;
+    mutate(c);
+    return c;
+  };
+  EXPECT_NO_THROW(serve::SloController(ok, 8, 4.0, reg));
+  EXPECT_THROW(
+      serve::SloController(with([](auto& c) { c.target_p99_s = 0.0; }), 8,
+                           4.0, reg),
+      std::invalid_argument);
+  EXPECT_THROW(serve::SloController(with([](auto& c) { c.shrink = 1.0; }), 8,
+                                    4.0, reg),
+               std::invalid_argument);
+  EXPECT_THROW(serve::SloController(with([](auto& c) { c.min_depth = 0; }), 8,
+                                    4.0, reg),
+               std::invalid_argument);
+  EXPECT_THROW(
+      serve::SloController(
+          with([](auto& c) { c.min_depth = 9, c.max_depth = 4; }), 8, 4.0,
+          reg),
+      std::invalid_argument);
+  EXPECT_THROW(serve::SloController(ok, 0, 4.0, reg), std::invalid_argument);
+}
+
+TEST(SloControl, SetCapacityIsALiveActuator) {
+  // The controller's queue-side actuator: capacity drops take effect on
+  // the very next admission decision.
+  serve::RequestQueue q(serve::AdmissionConfig{
+      .policy = serve::AdmissionPolicy::kReject, .capacity = 4});
+  auto f1 = q.submit(tiny_input());
+  auto f2 = q.submit(tiny_input());
+  q.set_capacity(1);
+  auto f3 = q.submit(tiny_input());  // over the new cap
+  EXPECT_EQ(settle_kind(f3), 1);
+  EXPECT_EQ(q.rejected(), 1u);
+  q.set_capacity(4);
+  auto f4 = q.submit(tiny_input());
+  q.close();
+  serve::Request r;
+  while (q.pop(r)) r.promise.set_value(dummy_result());
+  EXPECT_EQ(settle_kind(f1), 0);
+  EXPECT_EQ(settle_kind(f2), 0);
+  EXPECT_EQ(settle_kind(f4), 0);
+}
+
+TEST(ServerSlo, ControllerReactsToViolationsEndToEnd) {
+  // An impossible SLO (1µs p99) makes every completion a violation: the
+  // controller must shrink the depth cap off its configured value and
+  // publish its state into the server's telemetry tree.
+  SloRig rig;
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 4, .max_wait_us = 200};
+  cfg.admission.policy = serve::AdmissionPolicy::kReject;
+  cfg.admission.capacity = 32;
+  cfg.slo.enabled = true;
+  cfg.slo.target_p99_s = 1e-6;
+  cfg.slo.interval_us = 2000;
+  cfg.slo.min_window_samples = 4;
+  cfg.slo.min_depth = 2;
+  serve::ScServer server({rig.models[0].get()}, link, sc::jetson_nano(),
+                         sc::rtx3090_server(), cfg);
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (int round = 0; round < 30; ++round) {
+    for (uint64_t i = 0; i < 8; ++i)
+      futs.push_back(server.submit(rig.input(round * 8 + i), {.client_id = i}));
+    std::this_thread::sleep_for(5ms);
+  }
+  for (auto& f : futs) (void)settle_kind(f);  // settle everything; kinds vary
+  server.shutdown();
+
+  const telemetry::Registry& tree = server.telemetry_tree();
+  EXPECT_GT(tree.counter_value("serve/slo/ticks"), 0);
+  EXPECT_GT(tree.counter_value("serve/slo/violations"), 0);
+  const double cap = tree.gauge_value("serve/slo/depth_cap");
+  EXPECT_LT(cap, 32.0) << "controller never shrank the depth cap";
+  EXPECT_GE(cap, 2.0);
+  // The feedback loop is observable through the JSON exporter too.
+  EXPECT_NE(server.telemetry_json().find("\"slo\":{"), std::string::npos);
+  const serve::ServeStats s = server.stats();
+  EXPECT_GT(s.completed, 0);
+}
+
+TEST(ServerSlo, EnabledRequiresBoundedQueue) {
+  SloRig rig;
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.slo.enabled = true;
+  cfg.slo.target_p99_s = 0.5;
+  // admission.capacity defaults to unbounded: the depth-cap actuator has
+  // nothing to actuate, which must be a loud config error.
+  EXPECT_THROW(serve::ScServer({rig.models[0].get()}, link, sc::jetson_nano(),
+                               sc::rtx3090_server(), cfg),
+               std::invalid_argument);
 }
 
 }  // namespace

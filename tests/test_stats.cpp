@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <random>
 #include <type_traits>
@@ -226,6 +227,140 @@ TEST(ServeStats, SnapshotMemoryDoesNotGrowWithRequestCount) {
 TEST(ServeStats, PercentileRestrictedToTrackedQuantiles) {
   ServeStats s;
   EXPECT_THROW((void)s.percentile(75.0), std::invalid_argument);
+}
+
+TEST(ServeStats, MeanBatchSizeSaturatesInsteadOfOverflowing) {
+  // Regression: completed and failed individually saturate at INT64_MAX,
+  // so a saturated server computing completed + failed with plain + was
+  // signed overflow — UB — exactly in the long-run case the saturation
+  // exists for. The ratio must clamp, not wrap negative.
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  ServeStats s;
+  s.completed = max;
+  s.failed = 7;
+  s.batches = 2;
+  EXPECT_DOUBLE_EQ(s.mean_batch_size(), static_cast<double>(max) / 2.0);
+  s.failed = max;
+  s.wall_s = 10.0;
+  EXPECT_DOUBLE_EQ(s.mean_batch_size(), static_cast<double>(max) / 2.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps(), static_cast<double>(max) / 10.0);
+  EXPECT_GE(s.mean_batch_size(), 0.0);
+}
+
+TEST(ServeStats, PerShardLinkWindowsDoNotClobberEachOther) {
+  // Regression: a single scalar window shared by all shards was
+  // last-writer-wins noise — shard 1's quiet link could mask shard 0's
+  // wide-open window. Each shard now reports its own gauge; the scalar
+  // compatibility field is the fleet-wide maximum.
+  StatsCollector c(nullptr, /*num_shards=*/2);
+  serve::WireCounters w0;
+  w0.wire_bytes = 100;
+  w0.wire_time_s = 0.1;
+  w0.window = 8.0;
+  serve::WireCounters w1 = w0;
+  w1.window = 3.0;
+  c.on_batch(1, w0, /*shard=*/0);
+  c.on_batch(1, w1, /*shard=*/1);  // would have overwritten 8.0 pre-fix
+  const ServeStats s = c.snapshot();
+  ASSERT_EQ(s.shard_link_window.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.shard_link_window[0], 8.0);
+  EXPECT_DOUBLE_EQ(s.shard_link_window[1], 3.0);
+  EXPECT_DOUBLE_EQ(s.link_window, 8.0);
+}
+
+TEST(ServeStats, SnapshotIsDerivableFromTheTelemetryTree) {
+  // The ServeStats compatibility view must be a pure function of the
+  // telemetry tree: every field equals a direct read of the registry the
+  // collector registered into, including the P² latency marker state
+  // byte for byte.
+  telemetry::Registry reg;
+  StatsCollector c(&reg, /*num_shards=*/2);
+  serve::WireCounters w;
+  w.wire_bytes = 900;
+  w.wire_bytes_raw = 1500;
+  w.retransmits = 4;
+  w.fec_repaired = 2;
+  w.undelivered = 1;
+  w.wire_time_s = 0.5;
+  w.window = 6.0;
+  for (int i = 0; i < 3; ++i) c.on_submit();
+  c.on_batch(2, w, 0);
+  c.on_batch(1, w, 1);
+  c.on_request(0.010, true);
+  c.on_request(0.020, true);
+  c.on_request(0.500, false);
+  c.on_expired(2);
+  c.on_stolen(1);
+  c.on_scale(true);
+  c.on_scale(false);
+  c.on_replicas(0, 2);
+  c.on_replicas(1, 1);
+  // Queue-side producers write the shared shard counters directly.
+  reg.counter("serve/shard0/queue/rejected").add(3);
+  reg.counter("serve/shard1/queue/rejected").add(2);
+  reg.counter("serve/shard0/queue/shed").add(1);
+  reg.counter("serve/shard1/queue/expired").add(4);
+  reg.counter("serve/shard0/queue/throttled").add(5);
+
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.completed, reg.counter_value("serve/requests/completed"));
+  EXPECT_EQ(s.failed, reg.counter_value("serve/requests/failed"));
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.rejected, 3 + 2);
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.throttled, 5);
+  // expired = dispatch-phase expiries + every shard's queue expiries.
+  EXPECT_EQ(s.expired,
+            reg.counter_value("serve/requests/expired_dispatch") + 4);
+  EXPECT_EQ(s.stolen, reg.counter_value("serve/requests/stolen"));
+  EXPECT_EQ(s.scale_ups, reg.counter_value("serve/autoscale/ups"));
+  EXPECT_EQ(s.scale_downs, reg.counter_value("serve/autoscale/downs"));
+  EXPECT_EQ(s.batches, reg.counter_value("serve/batch/count"));
+  EXPECT_EQ(s.wire_bytes, reg.counter_value("sc/link/wire_bytes"));
+  EXPECT_EQ(s.wire_bytes, 1800);
+  EXPECT_EQ(s.wire_bytes_raw, reg.counter_value("sc/link/wire_bytes_raw"));
+  EXPECT_EQ(s.retransmits, reg.counter_value("sc/link/retransmits"));
+  EXPECT_EQ(s.fec_repaired, reg.counter_value("sc/link/fec_repaired"));
+  EXPECT_EQ(s.undelivered, reg.counter_value("sc/link/undelivered"));
+  EXPECT_DOUBLE_EQ(s.wire_time_s, reg.gauge_value("sc/link/wire_time_s"));
+  ASSERT_EQ(s.shard_link_window.size(), 2u);
+  for (size_t sh = 0; sh < 2; ++sh) {
+    const std::string p = "serve/shard" + std::to_string(sh);
+    EXPECT_DOUBLE_EQ(s.shard_link_window[sh],
+                     reg.gauge_value(p + "/link/window"));
+    EXPECT_EQ(s.shard_replicas[sh],
+              static_cast<int64_t>(reg.gauge_value(p + "/replicas")));
+  }
+  ASSERT_EQ(s.batch_hist.size(), 3u);  // highest bucket hit (2) + 1
+  EXPECT_EQ(s.batch_hist[1], reg.counter_value("serve/batch/hist/1"));
+  EXPECT_EQ(s.batch_hist[2], reg.counter_value("serve/batch/hist/2"));
+  // The latency percentiles are the tree histogram's own P² marker
+  // state, byte for byte.
+  const telemetry::HistSnapshot lat =
+      reg.find_histogram("serve/requests/latency")->snapshot();
+  EXPECT_EQ(std::memcmp(&s.lat_p50, &lat.q50, sizeof lat.q50), 0);
+  EXPECT_EQ(std::memcmp(&s.lat_p95, &lat.q95, sizeof lat.q95), 0);
+  EXPECT_EQ(std::memcmp(&s.lat_p99, &lat.q99, sizeof lat.q99), 0);
+  EXPECT_DOUBLE_EQ(s.max_latency_s, lat.max);
+  EXPECT_GT(s.wall_s, 0.0);
+  // Collector reads and tree reads keep agreeing as updates continue.
+  c.on_request(0.030, true);
+  EXPECT_EQ(c.snapshot().completed,
+            reg.counter_value("serve/requests/completed"));
+}
+
+TEST(ServeStats, DrainLatencyWindowResetsOnlyTheWindow) {
+  StatsCollector c;
+  c.on_request(0.010, true);
+  c.on_request(0.020, true);
+  const telemetry::HistSnapshot w1 = c.drain_latency_window();
+  EXPECT_EQ(w1.count, 2);
+  const telemetry::HistSnapshot w2 = c.drain_latency_window();
+  EXPECT_EQ(w2.count, 0);  // the window emptied...
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.completed, 2);  // ...the cumulative histogram did not
+  EXPECT_DOUBLE_EQ(s.max_latency_s, 0.020);
 }
 
 TEST(ServeStats, MaxLatencyBoundsTheEstimates) {

@@ -1,0 +1,285 @@
+// The telemetry tree (serve/telemetry.hpp, DESIGN.md §11): path
+// registration semantics (idempotence, collision rejection), hot-path
+// update guarantees, concurrent registration + updates from many threads,
+// the JSON exporter, and the runtime thread pool's process-global metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/telemetry.hpp"
+
+namespace mtlsplit {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::HistSnapshot;
+using telemetry::Histogram;
+using telemetry::Registry;
+
+// ---------------------------------------------------------- registration
+
+TEST(TelemetryRegistry, RegisterAndReadBack) {
+  Registry reg;
+  Counter& c = reg.counter("serve/requests/completed");
+  Gauge& g = reg.gauge("serve/shard0/link/window");
+  Histogram& h = reg.histogram("serve/requests/latency");
+  c.add(3);
+  c.inc();
+  g.set(4.5);
+  h.observe(0.25);
+  EXPECT_EQ(reg.counter_value("serve/requests/completed"), 4);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve/shard0/link/window"), 4.5);
+  ASSERT_NE(reg.find_histogram("serve/requests/latency"), nullptr);
+  EXPECT_EQ(reg.find_histogram("serve/requests/latency")->snapshot().count, 1);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(TelemetryRegistry, ReRegistrationIsIdempotentAndShared) {
+  // Two producers registering the same path share one tally — this is how
+  // the RequestQueue and the StatsCollector both hold
+  // "serve/shardK/queue/rejected" without double counting.
+  Registry reg;
+  Counter& a = reg.counter("serve/shard0/queue/rejected");
+  Counter& b = reg.counter("serve/shard0/queue/rejected");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.counter_value("serve/shard0/queue/rejected"), 2);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TelemetryRegistry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("serve/x");
+  EXPECT_THROW(reg.gauge("serve/x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("serve/x"), std::invalid_argument);
+  // The failed registrations left no trace.
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find_gauge("serve/x"), nullptr);
+}
+
+TEST(TelemetryRegistry, LeafInteriorConflictsThrowBothWays) {
+  Registry reg;
+  reg.counter("serve/queue/depth");
+  // An existing metric sits on a strict prefix of the new path...
+  EXPECT_THROW(reg.counter("serve/queue/depth/max"), std::invalid_argument);
+  // ...and the new path is a strict prefix of an existing metric.
+  EXPECT_THROW(reg.counter("serve/queue"), std::invalid_argument);
+  // Siblings that merely share the prefix string (not a path segment) are
+  // fine: "serve/queue2" is not inside "serve/queue".
+  EXPECT_NO_THROW(reg.counter("serve/queue2"));
+}
+
+TEST(TelemetryRegistry, MalformedPathsThrow) {
+  Registry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("/lead"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("trail/"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("a//b"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("a b"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("a\"b"), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(TelemetryRegistry, ValueReadsThrowWhenAbsent) {
+  Registry reg;
+  EXPECT_THROW((void)reg.counter_value("nope"), std::invalid_argument);
+  EXPECT_THROW((void)reg.gauge_value("nope"), std::invalid_argument);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+}
+
+// ------------------------------------------------------------- hot path
+
+TEST(TelemetryHotPath, UpdatesAreNoexceptAndSnapshotsFlat) {
+  // The hot-path contract: updates through a registered reference cannot
+  // throw (hence cannot allocate via throwing paths) — the compiler
+  // enforces what the header promises.
+  static_assert(noexcept(std::declval<Counter&>().add(1)));
+  static_assert(noexcept(std::declval<Counter&>().inc()));
+  static_assert(noexcept(std::declval<Counter&>().value()));
+  static_assert(noexcept(std::declval<Gauge&>().set(0.0)));
+  static_assert(noexcept(std::declval<Gauge&>().add(0.0)));
+  static_assert(noexcept(std::declval<Gauge&>().update_max(0.0)));
+  static_assert(noexcept(std::declval<Histogram&>().observe(0.0)));
+  static_assert(noexcept(std::declval<Histogram&>().snapshot()));
+  static_assert(noexcept(std::declval<Histogram&>().drain()));
+  // Snapshots are flat value types: hand them across threads, memcmp them.
+  static_assert(std::is_trivially_copyable_v<HistSnapshot>);
+  SUCCEED();
+}
+
+TEST(TelemetryHotPath, CounterSaturatesAtInt64Max) {
+  Counter c;
+  c.add(std::numeric_limits<int64_t>::max() - 1);
+  c.add(5);  // would wrap negative without the clamp
+  EXPECT_EQ(c.value(), std::numeric_limits<int64_t>::max());
+  c.inc();
+  EXPECT_EQ(c.value(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(TelemetryHotPath, GaugeAccumulateAndWatermark) {
+  Gauge g;
+  g.add(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.update_max(3.0);  // below current: no-op
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.update_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(TelemetryHotPath, HistogramMatchesStandaloneP2AndDrainResets) {
+  Histogram h;
+  serve::P2Quantile ref50(0.50), ref99(0.99);
+  std::mt19937_64 gen(7);
+  std::exponential_distribution<double> lat(50.0);
+  double sum = 0.0, mx = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = lat(gen);
+    h.observe(x);
+    ref50.add(x);
+    ref99.add(x);
+    sum += x;
+    mx = std::max(mx, x);
+  }
+  const HistSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5000);
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.max, mx);
+  // Identical fold order => identical P² marker state.
+  EXPECT_DOUBLE_EQ(s.p50(), ref50.value());
+  EXPECT_DOUBLE_EQ(s.q99.value(), ref99.value());
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+
+  const HistSnapshot drained = h.drain();
+  EXPECT_EQ(drained.count, 5000);
+  const HistSnapshot after = h.snapshot();
+  EXPECT_EQ(after.count, 0);
+  EXPECT_DOUBLE_EQ(after.sum, 0.0);
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(TelemetryConcurrency, ThreadsRaceRegistrationAndUpdatesLosslessly) {
+  // N threads race to register overlapping paths and hammer them; every
+  // increment must land exactly once, whichever thread won registration.
+  // (Run under TSan in CI — this is the data-race probe for the tree.)
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 20000;
+  Registry reg;
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg, &start, t] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }
+      // Shared path (all threads), per-pair path, plus gauge + histogram.
+      Counter& shared = reg.counter("race/shared");
+      Counter& mine = reg.counter("race/pair" + std::to_string(t / 2));
+      Gauge& peak = reg.gauge("race/peak");
+      Histogram& h = reg.histogram("race/lat");
+      for (int i = 0; i < kIncsPerThread; ++i) {
+        shared.inc();
+        mine.inc();
+        peak.update_max(static_cast<double>(t * kIncsPerThread + i));
+        if (i % 50 == 0) h.observe(static_cast<double>(i));
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter_value("race/shared"), kThreads * kIncsPerThread);
+  for (int p = 0; p < kThreads / 2; ++p)
+    EXPECT_EQ(reg.counter_value("race/pair" + std::to_string(p)),
+              2 * kIncsPerThread);
+  EXPECT_DOUBLE_EQ(
+      reg.gauge_value("race/peak"),
+      static_cast<double>((kThreads - 1) * kIncsPerThread + kIncsPerThread - 1));
+  ASSERT_NE(reg.find_histogram("race/lat"), nullptr);
+  EXPECT_EQ(reg.find_histogram("race/lat")->snapshot().count,
+            kThreads * (kIncsPerThread / 50));
+}
+
+// ---------------------------------------------------------------- export
+
+TEST(TelemetryJson, NestedTreeRendersSortedAndTyped) {
+  Registry reg;
+  reg.counter("serve/requests/completed").add(7);
+  reg.counter("serve/requests/failed");
+  reg.gauge("serve/shard0/link/window").set(2.5);
+  reg.counter("runtime/pool/tasks").add(3);
+  EXPECT_EQ(reg.to_json(),
+            "{\"runtime\":{\"pool\":{\"tasks\":3}},"
+            "\"serve\":{\"requests\":{\"completed\":7,\"failed\":0},"
+            "\"shard0\":{\"link\":{\"window\":2.5}}}}");
+  EXPECT_EQ(Registry{}.to_json(), "{}");
+}
+
+TEST(TelemetryJson, DenseIntegerCounterRunRendersAsArray) {
+  Registry reg;
+  for (int b = 0; b < 4; ++b)
+    reg.counter("serve/batch/hist/" + std::to_string(b)).add(10 * b);
+  reg.counter("serve/batch/count").add(60);
+  EXPECT_EQ(reg.to_json(),
+            "{\"serve\":{\"batch\":{\"count\":60,"
+            "\"hist\":[0,10,20,30]}}}");
+}
+
+TEST(TelemetryJson, SparseOrPaddedBucketsFallBackToObjects) {
+  // A gap ("0","2") and a zero-padded name ("07") are not dense 0..n-1
+  // ranges; both must render as plain objects, not misaligned arrays.
+  Registry sparse;
+  sparse.counter("h/0").add(1);
+  sparse.counter("h/2").add(2);
+  EXPECT_EQ(sparse.to_json(), "{\"h\":{\"0\":1,\"2\":2}}");
+  Registry padded;
+  padded.counter("h/07").add(1);
+  padded.counter("h/1").add(2);
+  EXPECT_EQ(padded.to_json(), "{\"h\":{\"07\":1,\"1\":2}}");
+}
+
+TEST(TelemetryJson, HistogramRendersSummaryObject) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 4; ++i) h.observe(static_cast<double>(i));
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"lat\":{\"count\":4,\"mean\":2.5,"), std::string::npos)
+      << json;
+  for (const char* key : {"\"p50\":", "\"p95\":", "\"p99\":", "\"max\":4"})
+    EXPECT_NE(json.find(key), std::string::npos) << json;
+}
+
+// -------------------------------------------------- runtime pool metrics
+
+TEST(TelemetryRuntime, ParallelForReportsIntoGlobalTree) {
+  telemetry::Registry& g = telemetry::global();
+  runtime::global_pool();  // ensure the pool (and its gauge) exist
+  const int64_t tasks0 = g.counter_value("runtime/pool/tasks");
+  const int64_t serial0 = g.counter_value("runtime/pool/serial");
+  const int64_t chunks0 = g.counter_value("runtime/pool/chunks");
+  std::atomic<int64_t> sum{0};
+  runtime::parallel_for(0, 1000, 100, [&](int64_t b, int64_t e) {
+    sum.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000);
+  // Whether the dispatch fanned out or ran inline (single-lane pools,
+  // MTLSPLIT_NUM_THREADS=1) exactly one of the two counters moved.
+  const int64_t dispatched = g.counter_value("runtime/pool/tasks") - tasks0;
+  const int64_t inline_runs = g.counter_value("runtime/pool/serial") - serial0;
+  EXPECT_EQ(dispatched + inline_runs, 1);
+  if (dispatched == 1)
+    EXPECT_EQ(g.counter_value("runtime/pool/chunks") - chunks0, 10);
+  EXPECT_GE(g.gauge_value("runtime/pool/threads"), 1.0);
+}
+
+}  // namespace
+}  // namespace mtlsplit
