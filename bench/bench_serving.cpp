@@ -40,6 +40,14 @@
 //     stage; the controller sheds depth at the door and holds it.
 //     Both curves land in BENCH_SERVING.json and the comparison is a
 //     hard gate: the bench fails unless the controller strictly wins.
+//  8. Fleet chaos drill: a 3-node FleetRouter fleet at peak load loses a
+//     node (kill_node black-holes it). The SWIM prober must declare the
+//     death within its configured miss window, every in-flight future
+//     must settle exactly once (transparent failover for the victim's
+//     orphans — 0 lost futures is a hard exit gate), the lost replica is
+//     re-minted on the survivors, and everything served before, during
+//     and after the failover stays bitwise identical to sequential
+//     infer().
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -47,6 +55,7 @@
 #include <random>
 #include <thread>
 
+#include "fleet/fleet.hpp"
 #include "mtl/model_factory.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
@@ -855,6 +864,173 @@ bool bitwise_identity_check(core::MtlSplitModel& served_model,
   return true;
 }
 
+// ------------------------------------------------------- fleet scenario
+
+struct FleetDrillResult {
+  size_t nodes = 3;
+  size_t victim = 0;
+  int64_t submitted = 0;
+  int64_t settled_value = 0;
+  int64_t settled_error = 0;
+  int64_t lost = 0;  // futures that never settled — the hard gate
+  int64_t failovers = 0;
+  int64_t reminted = 0;
+  int64_t deaths = 0;
+  double detect_ms = 0.0;         // kill -> declared dead
+  double detect_budget_ms = 0.0;  // configured suspect+dead miss window
+  double settle_all_ms = 0.0;     // kill -> last pre-death future settled
+  double p99_inflight_ms = 0.0;   // requests already in flight at the kill
+  double p99_rebuild_ms = 0.0;    // requests racing detection + rebuild
+  size_t live_replicas_after = 0;
+  bool bitwise_ok = true;
+  bool ok = false;
+};
+
+/// Chaos drill: a 3-node fleet at peak QPS loses a node. Every in-flight
+/// future must settle exactly once (failover for the victim's share), the
+/// SWIM detector must fire within its configured miss window, the lost
+/// replica must be re-minted on the survivors, and everything served —
+/// before, during and after the failover — must stay bitwise identical
+/// to sequential infer().
+FleetDrillResult run_fleet_drill(core::MtlSplitModel* prototype) {
+  FleetDrillResult out;
+  fleet::FleetConfig cfg;
+  cfg.nodes = out.nodes;
+  cfg.replicas_per_node = 1;
+  cfg.swim.ping_interval_us = 5000;
+  cfg.swim.suspect_after = 2;
+  cfg.swim.dead_after = 2;
+  cfg.serve.batching = {.max_batch_size = 4, .max_wait_us = 500};
+  cfg.data_link = {.bandwidth_bps = 1e9, .base_latency_s = 0.0002};
+  cfg.control_link = {.bandwidth_bps = 1e9};
+  cfg.make_replica = [] { return make_replica(501); };
+  // The configured detection window plus scheduling slack for the prober
+  // thread on a loaded host.
+  out.detect_budget_ms =
+      1e-3 * static_cast<double>(cfg.swim.ping_interval_us) *
+          static_cast<double>(cfg.swim.suspect_after + cfg.swim.dead_after) +
+      200.0;
+  fleet::FleetRouter router(*prototype, sc::jetson_nano(),
+                            sc::rtx3090_server(), cfg);
+  out.victim = router.route(/*client_id=*/0);
+
+  struct Flight {
+    Tensor x;
+    std::future<sc::InferenceResult> f;
+    std::chrono::steady_clock::time_point t0, ready_at;
+    int wave = 0;
+    bool done = false, value = false;
+    sc::InferenceResult result;
+  };
+  std::vector<Flight> flights;
+  uint64_t next_client = 0;
+  auto fire = [&](int wave) {
+    Flight fl;
+    fl.x = request_input(300000 + next_client);
+    fl.t0 = std::chrono::steady_clock::now();
+    fl.wave = wave;
+    fl.f = router.submit(fl.x.clone(), {.base = {.client_id = next_client}});
+    flights.push_back(std::move(fl));
+    ++next_client;
+    ++out.submitted;
+  };
+
+  // Wave 0 — peak: a deep burst across every node's queue.
+  for (int i = 0; i < 72; ++i) fire(0);
+  const auto t_kill = std::chrono::steady_clock::now();
+  router.kill_node(out.victim);
+  // Wave 1 — racing the detector: paced so submissions keep landing on
+  // the victim until it is declared dead, then shift to the survivors.
+  for (int i = 0; i < 48; ++i) {
+    fire(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  const auto detect_deadline =
+      t_kill + std::chrono::seconds(10);
+  while (router.node_state(out.victim) != fleet::NodeState::kDead &&
+         std::chrono::steady_clock::now() < detect_deadline)
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  out.detect_ms = 1e3 * std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_kill)
+                            .count();
+  // Wave 2 — after the failover: clean routing onto the survivors.
+  for (int i = 0; i < 24; ++i) fire(2);
+
+  // Harvest by polling: every future must settle, whatever its wave.
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(60);
+  size_t unsettled = flights.size();
+  while (unsettled > 0 && std::chrono::steady_clock::now() < give_up) {
+    unsettled = 0;
+    for (Flight& fl : flights) {
+      if (fl.done) continue;
+      if (fl.f.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++unsettled;
+        continue;
+      }
+      fl.ready_at = std::chrono::steady_clock::now();
+      fl.done = true;
+      try {
+        fl.result = fl.f.get();
+        fl.value = true;
+        ++out.settled_value;
+      } catch (...) {
+        ++out.settled_error;
+      }
+    }
+    if (unsettled > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  out.lost = static_cast<int64_t>(unsettled);
+
+  std::vector<double> lat_inflight, lat_rebuild;
+  for (const Flight& fl : flights) {
+    if (!fl.done) continue;
+    const double lat = std::chrono::duration<double>(fl.ready_at - fl.t0)
+                           .count();
+    if (fl.wave == 0) lat_inflight.push_back(lat);
+    if (fl.wave == 1) lat_rebuild.push_back(lat);
+    if (fl.wave <= 1) {
+      const double since_kill =
+          1e3 * std::chrono::duration<double>(fl.ready_at - t_kill).count();
+      out.settle_all_ms = std::max(out.settle_all_ms, since_kill);
+    }
+  }
+  out.p99_inflight_ms = 1e3 * client_p99_s(lat_inflight);
+  out.p99_rebuild_ms = 1e3 * client_p99_s(lat_rebuild);
+
+  for (size_t k : router.live_nodes())
+    out.live_replicas_after += router.node_replicas(k);
+  router.shutdown();
+  const fleet::FleetStats s = router.stats();
+  out.failovers = s.failovers;
+  out.reminted = s.replicas_reminted;
+  out.deaths = s.deaths;
+
+  // Bitwise gate: every value matches the sequential reference, whichever
+  // node (original or re-minted survivor replica) served it.
+  sc::Channel ref_ch({.bandwidth_bps = 1e9, .base_latency_s = 0.0002});
+  sc::ScDeployment ref(*prototype, ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  for (const Flight& fl : flights) {
+    if (!fl.value || !out.bitwise_ok) continue;
+    const sc::InferenceResult want = ref.infer(fl.x);
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      if (!fl.result.logits[j].equals(want.logits[j]))
+        out.bitwise_ok = false;
+  }
+
+  // Exit gates. settle-all completeness (0 lost futures) is the headline
+  // contract; everything on a clean data link settles with a value.
+  out.ok = out.lost == 0 &&
+           out.settled_value + out.settled_error == out.submitted &&
+           out.settled_error == 0 && out.bitwise_ok && out.deaths == 1 &&
+           out.detect_ms <= out.detect_budget_ms && out.reminted == 1 &&
+           out.live_replicas_after == out.nodes;
+  return out;
+}
+
 void write_slo_curve(FILE* f, const char* name, const SloCurve& curve,
                      bool controller, bool last) {
   std::fprintf(f, "    \"%s\": {\n", name);
@@ -884,7 +1060,8 @@ void write_json(const std::vector<CellResult>& cells,
                 const OverloadResult& ov, const FairnessResult& fair,
                 const DeadlineResult& dl, const AutoscaleBench& as,
                 const std::vector<WireCell>& wire, bool wire_ok,
-                const SloBench& slo, bool bitwise_ok) {
+                const SloBench& slo, const FleetDrillResult& fl,
+                bool bitwise_ok) {
   FILE* f = std::fopen("BENCH_SERVING.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_SERVING.json\n");
@@ -1070,6 +1247,35 @@ void write_json(const std::vector<CellResult>& cells,
   std::fprintf(f, "    \"controller_holds_final_stage\": %s,\n",
                slo.controller_holds ? "true" : "false");
   std::fprintf(f, "    \"ok\": %s\n", slo.ok ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet\": {\n");
+  std::fprintf(f, "    \"nodes\": %zu,\n", fl.nodes);
+  std::fprintf(f, "    \"victim\": %zu,\n", fl.victim);
+  std::fprintf(f, "    \"submitted\": %lld,\n",
+               static_cast<long long>(fl.submitted));
+  std::fprintf(f, "    \"settled_value\": %lld,\n",
+               static_cast<long long>(fl.settled_value));
+  std::fprintf(f, "    \"settled_error\": %lld,\n",
+               static_cast<long long>(fl.settled_error));
+  std::fprintf(f, "    \"lost_futures\": %lld,\n",
+               static_cast<long long>(fl.lost));
+  std::fprintf(f, "    \"failovers\": %lld,\n",
+               static_cast<long long>(fl.failovers));
+  std::fprintf(f, "    \"deaths\": %lld,\n",
+               static_cast<long long>(fl.deaths));
+  std::fprintf(f, "    \"replicas_reminted\": %lld,\n",
+               static_cast<long long>(fl.reminted));
+  std::fprintf(f, "    \"live_replicas_after\": %zu,\n",
+               fl.live_replicas_after);
+  std::fprintf(f, "    \"detect_ms\": %.3f,\n", fl.detect_ms);
+  std::fprintf(f, "    \"detect_budget_ms\": %.3f,\n", fl.detect_budget_ms);
+  std::fprintf(f, "    \"settle_all_ms\": %.3f,\n", fl.settle_all_ms);
+  std::fprintf(f, "    \"p99_inflight_at_kill_ms\": %.3f,\n",
+               fl.p99_inflight_ms);
+  std::fprintf(f, "    \"p99_during_rebuild_ms\": %.3f,\n", fl.p99_rebuild_ms);
+  std::fprintf(f, "    \"bitwise_identical_to_sequential\": %s,\n",
+               fl.bitwise_ok ? "true" : "false");
+  std::fprintf(f, "    \"ok\": %s\n", fl.ok ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -1225,6 +1431,31 @@ int main() {
               "controller must hold it)\n",
               slo.ok ? "OK" : "FAILED");
 
+  std::printf("\nFleet chaos drill (3 nodes, SWIM detector, kill at peak "
+              "load):\n");
+  const FleetDrillResult fl = run_fleet_drill(m0.get());
+  std::printf("  victim node %zu, %lld futures in flight across the kill\n",
+              fl.victim, static_cast<long long>(fl.submitted));
+  std::printf("  detected dead in %.1f ms (budget %.1f ms)\n", fl.detect_ms,
+              fl.detect_budget_ms);
+  std::printf("  settled: %lld values, %lld errors, %lld LOST "
+              "(settle-all %.1f ms after the kill)\n",
+              static_cast<long long>(fl.settled_value),
+              static_cast<long long>(fl.settled_error),
+              static_cast<long long>(fl.lost), fl.settle_all_ms);
+  std::printf("  failovers %lld, replicas re-minted %lld, live replicas "
+              "after rebuild %zu/%zu\n",
+              static_cast<long long>(fl.failovers),
+              static_cast<long long>(fl.reminted), fl.live_replicas_after,
+              fl.nodes);
+  std::printf("  p99 in-flight-at-kill %.2f ms, p99 during rebuild %.2f ms, "
+              "bitwise %s\n",
+              fl.p99_inflight_ms, fl.p99_rebuild_ms,
+              fl.bitwise_ok ? "yes" : "NO — BUG");
+  std::printf("  fleet drill %s (exactly-once settlement, 0 lost futures, "
+              "detection within budget, capacity rebuilt)\n",
+              fl.ok ? "OK" : "FAILED");
+
   std::printf(
       "\nShape check: dynamic batching coalesces under load, Reject keeps\n"
       "the admitted-request tail bounded at 4x saturation, the DRR queue\n"
@@ -1234,8 +1465,9 @@ int main() {
       "codec keeps sparse Z_b under 0.6x raw bytes across a lossy link,\n"
       "the SLO controller holds the latency target through a ramp the\n"
       "static depth knob fails, and every served logit is bit-identical\n"
-      "to sequential infer().\n");
-  write_json(cells, ov, fair, dl, as, wire, wire_ok, slo,
+      "to sequential infer(), single-server and fleet alike — including\n"
+      "across a node death and the replica rebuild that follows.\n");
+  write_json(cells, ov, fair, dl, as, wire, wire_ok, slo, fl,
              bitwise_ok && as.bitwise_ok);
-  return bitwise_ok && as.bitwise_ok && wire_ok && slo.ok ? 0 : 1;
+  return bitwise_ok && as.bitwise_ok && wire_ok && slo.ok && fl.ok ? 0 : 1;
 }

@@ -1,0 +1,60 @@
+#include "sc/ping.hpp"
+
+#include "sc/wire_codec.hpp"
+
+namespace mtlsplit::sc {
+
+namespace {
+
+constexpr size_t kPingPayloadBytes = 1 + 4 + 8 + 8;
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_ping(const PingFrame& p) {
+  std::vector<uint8_t> raw;
+  raw.reserve(kPingPayloadBytes);
+  raw.push_back(static_cast<uint8_t>(p.type));
+  put_u32(raw, p.seq);
+  put_u64(raw, p.node);
+  put_u64(raw, p.incarnation);
+  return encode_frame(raw, WireCodec::kRaw);
+}
+
+std::optional<PingFrame> decode_ping(const std::vector<uint8_t>& frame) {
+  std::vector<uint8_t> raw;
+  try {
+    raw = decode_frame(frame);
+  } catch (const WireCodecError&) {
+    return std::nullopt;
+  }
+  if (raw.size() != kPingPayloadBytes) return std::nullopt;
+  if (raw[0] > static_cast<uint8_t>(PingType::kAck)) return std::nullopt;
+  PingFrame p;
+  p.type = static_cast<PingType>(raw[0]);
+  p.seq = get_u32(raw.data() + 1);
+  p.node = get_u64(raw.data() + 5);
+  p.incarnation = get_u64(raw.data() + 13);
+  return p;
+}
+
+}  // namespace mtlsplit::sc

@@ -1,0 +1,53 @@
+// SWIM ping/ack frames for fleet liveness probing (DESIGN.md §12).
+//
+// The failure detector in src/fleet/ probes each node over the same lossy
+// `sc::Link` model the inference payloads ride, so a degraded link and a
+// dead node look identical to the prober — exactly the ambiguity SWIM's
+// suspect state exists to absorb. A probe is a tiny fixed-layout payload
+// wrapped in the standard CRC32 wire frame (wire_codec.hpp): erased or
+// corrupted probes fail the CRC and decode to nullopt, which the prober
+// counts as a missed ack.
+//
+// Payload layout inside the frame, little-endian, 21 bytes:
+//
+//   type        u8   0 = ping, 1 = ack
+//   seq         u32  probe sequence number, echoed verbatim in the ack
+//   node        u64  id of the *responding* node (ack) / target (ping)
+//   incarnation u64  responder's incarnation (ack); on a ping, the
+//                    incarnation the prober currently suspects the target
+//                    at, or kNotSuspected when the target is alive
+//
+// Incarnations implement SWIM refutation: a node that learns it is
+// suspected at incarnation i answers with incarnation i+1, which
+// overrides the suspicion at every observer (higher incarnation wins).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mtlsplit::sc {
+
+enum class PingType : uint8_t { kPing = 0, kAck = 1 };
+
+/// Sentinel for PingFrame::incarnation on a ping when the prober does not
+/// currently suspect the target.
+constexpr uint64_t kNotSuspected = ~0ull;
+
+struct PingFrame {
+  PingType type = PingType::kPing;
+  uint32_t seq = 0;
+  uint64_t node = 0;
+  uint64_t incarnation = kNotSuspected;
+};
+
+/// Serialises @p p into a CRC32-framed wire message (kRaw codec — the
+/// payload is 21 bytes, entropy coding would only add overhead).
+std::vector<uint8_t> encode_ping(const PingFrame& p);
+
+/// Parses a frame produced by encode_ping. Returns nullopt on any
+/// corruption (CRC failure, truncation, wrong payload length, unknown
+/// type) — the caller treats that as a dropped probe, never an error.
+std::optional<PingFrame> decode_ping(const std::vector<uint8_t>& frame);
+
+}  // namespace mtlsplit::sc

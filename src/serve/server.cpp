@@ -132,20 +132,38 @@ void ScServer::start(std::vector<core::MtlSplitModel*>& replicas,
 ScServer::~ScServer() { shutdown(); }
 
 size_t ScServer::route(uint64_t client_id) const {
-  if (cfg_.sharding == ShardingPolicy::kHashClient || shards_.size() == 1)
-    return splitmix64(client_id) % shards_.size();
-  // Least-loaded: fewest outstanding requests (queued + in service).
-  size_t best = 0;
-  int64_t best_load = std::numeric_limits<int64_t>::max();
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  const size_t n = shards_.size();
+  if (n == 1) return 0;
+  if (cfg_.sharding == ShardingPolicy::kHashClient) {
+    const size_t pinned = splitmix64(client_id) % n;
+    if (shards_[pinned]->live.load(std::memory_order_relaxed) > 0)
+      return pinned;
+    // The hashed shard has no active worker (every slot retired or
+    // parked mid-scale-down): pinning the tenant there would strand its
+    // requests in a queue nothing pops. Fall through to the least-loaded
+    // live shard; affinity resumes once the shard has a worker again.
+  }
+  // Least-loaded: fewest outstanding requests (queued + in service),
+  // preferring shards with at least one active worker. When none reports
+  // live (startup/shutdown transient), fall back to load alone — pops
+  // still drain every queue at shutdown.
+  size_t best_live = n, best_any = 0;
+  int64_t best_live_load = std::numeric_limits<int64_t>::max();
+  int64_t best_any_load = std::numeric_limits<int64_t>::max();
+  for (size_t s = 0; s < n; ++s) {
     const int64_t load = static_cast<int64_t>(shards_[s]->queue.size()) +
                          shards_[s]->busy.load(std::memory_order_relaxed);
-    if (load < best_load) {
-      best_load = load;
-      best = s;
+    if (load < best_any_load) {
+      best_any_load = load;
+      best_any = s;
+    }
+    if (shards_[s]->live.load(std::memory_order_relaxed) > 0 &&
+        load < best_live_load) {
+      best_live_load = load;
+      best_live = s;
     }
   }
-  return best;
+  return best_live < n ? best_live : best_any;
 }
 
 std::future<sc::InferenceResult> ScServer::submit(Tensor x,
@@ -443,6 +461,12 @@ size_t ScServer::active_workers_locked(size_t shard) const {
 }
 
 void ScServer::scale_up_locked(size_t shard) {
+  grow_locked(shard, cfg_.autoscale.make_replica);
+}
+
+void ScServer::grow_locked(
+    size_t shard,
+    const std::function<std::unique_ptr<core::MtlSplitModel>()>& make) {
   // Resurrect a parked slot first: its replica and channel session are
   // already weight-identical (weights are immutable for the server's
   // lifetime), so unparking costs one thread spawn.
@@ -463,9 +487,9 @@ void ScServer::scale_up_locked(size_t shard) {
   // weights copied bitwise from replica 0 (eval-mode forward never writes
   // parameters or buffers, so copying from a serving prototype is safe),
   // and a forked channel session of its own.
-  auto model = cfg_.autoscale.make_replica();
+  auto model = make();
   check_arg(model != nullptr,
-            "ScServer: AutoscaleConfig::make_replica returned null");
+            "ScServer: replica factory returned null");
   model->set_training(false);
   core::copy_model_state(*model, *prototype_);
   auto w = std::make_unique<Worker>();
@@ -498,6 +522,51 @@ void ScServer::scale_down_locked(size_t shard) {
       return;
     }
   }
+}
+
+size_t ScServer::add_replicas(
+    size_t n,
+    const std::function<std::unique_ptr<core::MtlSplitModel>()>& factory) {
+  const auto& make = factory ? factory : cfg_.autoscale.make_replica;
+  check_arg(static_cast<bool>(make),
+            "ScServer: add_replicas needs a factory (argument or "
+            "AutoscaleConfig::make_replica)");
+  check_arg(base_link_ != nullptr,
+            "ScServer: add_replicas requires the channel-fork constructor");
+  std::lock_guard<std::mutex> lk(scale_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return 0;
+  size_t added = 0;
+  for (; added < n; ++added) {
+    // Fewest-active-shard placement keeps rebuilt capacity balanced.
+    size_t best = 0;
+    size_t best_active = active_workers_locked(0);
+    for (size_t s = 1; s < shards_.size(); ++s) {
+      const size_t active = active_workers_locked(s);
+      if (active < best_active) {
+        best_active = active;
+        best = s;
+      }
+    }
+    grow_locked(best, make);
+  }
+  return added;
+}
+
+bool ScServer::retire_replica(size_t shard) {
+  check_arg(shard < shards_.size(),
+            "ScServer: retire_replica shard out of range");
+  std::lock_guard<std::mutex> lk(scale_mu_);
+  for (size_t i = workers_.size(); i-- > 0;) {
+    Worker& w = *workers_[i];
+    if (w.shard == shard && !w.parked &&
+        !w.retired.load(std::memory_order_acquire)) {
+      w.retired.store(true, std::memory_order_release);
+      stats_->on_scale(false);
+      update_replica_gauges_locked();
+      return true;
+    }
+  }
+  return false;
 }
 
 void ScServer::try_scale_up(size_t shard) {
@@ -565,8 +634,11 @@ void ScServer::autoscale_loop() {
 // -------------------------------------------------------- SLO controller
 
 void ScServer::update_replica_gauges_locked() {
-  for (size_t s = 0; s < shards_.size(); ++s)
-    stats_->on_replicas(s, static_cast<int64_t>(active_workers_locked(s)));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const int64_t active = static_cast<int64_t>(active_workers_locked(s));
+    shards_[s]->live.store(active, std::memory_order_relaxed);
+    stats_->on_replicas(s, active);
+  }
 }
 
 void ScServer::slo_loop() {

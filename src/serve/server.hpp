@@ -166,10 +166,36 @@ class ScServer {
   size_t num_shards() const { return shards_.size(); }
   const BatchingPolicy& batching() const { return cfg_.batching; }
 
+  /// Fleet-rebuild hook (src/fleet): mints @p n additional replicas —
+  /// weights copied bitwise from replica 0 via core::copy_model_state,
+  /// each with its own forked channel session — placing each on the
+  /// shard with the fewest active workers (parked slots are resurrected
+  /// first, like an autoscaler grow). Uses @p factory, or
+  /// AutoscaleConfig::make_replica when @p factory is empty. Requires
+  /// the channel-fork constructor. Returns the number actually added
+  /// (0 after shutdown); throws std::invalid_argument when no factory is
+  /// available or the server cannot fork sessions.
+  size_t add_replicas(
+      size_t n,
+      const std::function<std::unique_ptr<core::MtlSplitModel>()>& factory =
+          {});
+
+  /// Fleet/chaos hook: retires one active worker of @p shard (the most
+  /// recently added), even the shard's last one. The slot finishes its
+  /// current batch and parks; the router immediately stops pinning
+  /// hash-affine tenants to a shard with no live worker (route-time
+  /// liveness fallback). Returns false when the shard has no active
+  /// worker left to retire.
+  bool retire_replica(size_t shard);
+
  private:
   struct Shard {
     RequestQueue queue;
     std::atomic<int64_t> busy{0};  ///< popped, not yet settled
+    /// Active (non-retired, non-parked) workers serving this shard —
+    /// the router's lock-free liveness signal. Maintained by
+    /// update_replica_gauges_locked on every slot transition.
+    std::atomic<int64_t> live{0};
     explicit Shard(const AdmissionConfig& cfg) : queue(cfg) {}
   };
   /// One worker slot: replica + channel session + deployment + thread.
@@ -199,6 +225,11 @@ class ScServer {
   size_t active_workers_locked(size_t shard) const;
   void try_scale_up(size_t shard);  // locked; swallows mint failures
   void scale_up_locked(size_t shard);
+  /// Unpark-or-mint one worker onto @p shard using @p make; the common
+  /// grow path behind the autoscaler and add_replicas.
+  void grow_locked(
+      size_t shard,
+      const std::function<std::unique_ptr<core::MtlSplitModel>()>& make);
   void scale_down_locked(size_t shard);
   /// Re-publishes the per-shard replica-census gauges; call with
   /// scale_mu_ held (or before any worker thread exists).

@@ -65,11 +65,16 @@ SloController::Decision SloController::tick(
         std::max(cfg_.min_scale_up_backlog, scale_up_backlog_ * cfg_.shrink);
   } else if (p99 < cfg_.grow_margin * cfg_.target_p99_s) {
     // Additive increase while comfortably inside the SLO, recovering
-    // toward the configured settings.
+    // toward the configured settings. Both actuators step additively —
+    // dividing by the shrink factor here would be a multiplicative
+    // increase, which re-oscillates right at the SLO boundary instead of
+    // probing back carefully (AIMD needs the "AI" half on recovery too).
     depth_cap_ = std::min(max_depth_,
                           depth_cap_ + std::max<size_t>(1, depth_cap_ / 8));
-    scale_up_backlog_ =
-        std::min(base_scale_up_backlog_, scale_up_backlog_ / cfg_.shrink);
+    scale_up_backlog_ = std::min(
+        base_scale_up_backlog_,
+        scale_up_backlog_ +
+            std::max(cfg_.min_scale_up_backlog, scale_up_backlog_ / 8.0));
   }
   cap_gauge_.set(static_cast<double>(depth_cap_));
   backlog_gauge_.set(scale_up_backlog_);

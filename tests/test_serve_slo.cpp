@@ -6,6 +6,7 @@
 // sequential infer().
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <random>
@@ -592,6 +593,129 @@ TEST(SloControl, AimdShrinksUnderViolationAndRecoversUnderComfort) {
   EXPECT_EQ(reg.counter_value("serve/slo/violations"), 6);
 }
 
+TEST(SloControl, BacklogRecoveryIsAdditiveMonotoneAndBounded) {
+  // Regression: the recovery path used to restore scale_up_backlog_ by
+  // dividing with cfg.shrink — a multiplicative increase that jumped
+  // 4.0 -> 8.0 in one tick and re-oscillated right at the SLO boundary.
+  // The AIMD contract (DESIGN.md §11) wants additive recovery, stepping
+  // by max(min_scale_up_backlog, x/8) like the depth path.
+  telemetry::Registry reg;
+  serve::SloConfig cfg;
+  cfg.enabled = true;
+  cfg.target_p99_s = 0.1;
+  cfg.min_window_samples = 4;
+  cfg.min_depth = 2;
+  cfg.shrink = 0.5;
+  cfg.grow_margin = 0.7;
+  cfg.min_scale_up_backlog = 1.0;
+  serve::SloController c(cfg, /*initial_depth=*/64,
+                         /*base_scale_up_backlog=*/8.0, reg);
+
+  // One violation: 8.0 -> 4.0 (multiplicative decrease).
+  const auto shrunk = c.tick(slo_window(8, 0.5));
+  ASSERT_DOUBLE_EQ(shrunk.scale_up_backlog, 4.0);
+
+  // Recovery must climb back in additive steps — with the bug the very
+  // first comfort tick restored 8.0.
+  double prev = 4.0;
+  std::vector<double> seen;
+  for (int i = 0; i < 8; ++i) {
+    const auto d = c.tick(slo_window(8, 0.01));
+    ASSERT_TRUE(d.acted);
+    EXPECT_GE(d.scale_up_backlog, prev) << "recovery tick " << i
+                                        << " was not monotone";
+    EXPECT_LE(d.scale_up_backlog,
+              prev + std::max(cfg.min_scale_up_backlog, prev / 8.0) + 1e-12)
+        << "recovery tick " << i << " stepped more than additively";
+    EXPECT_LE(d.scale_up_backlog, 8.0) << "recovery overshot the base";
+    prev = d.scale_up_backlog;
+    seen.push_back(d.scale_up_backlog);
+  }
+  // Exact trajectory with these constants: +1 per tick, clamped at base.
+  const std::vector<double> want = {5.0, 6.0, 7.0, 8.0, 8.0, 8.0, 8.0, 8.0};
+  ASSERT_EQ(seen.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i)
+    EXPECT_DOUBLE_EQ(seen[i], want[i]) << "recovery tick " << i;
+  EXPECT_NE(seen[0], 8.0) << "first recovery tick restored the base in one "
+                             "jump (multiplicative bug)";
+}
+
+TEST(SloControl, SetCapacityShrinkRacingBlockedSubmittersStaysLive) {
+  // The SLO controller shrinks queue capacity below the current depth
+  // while Block-policy submitters are parked in the admission wait.
+  // Contract: no blocked producer may deadlock or be stranded past its
+  // own deadline — it either gets admitted (capacity re-grows / a slot
+  // frees) or settles kAdmission at the deadline. TSan-clean by
+  // construction: every cross-thread touch goes through the queue's own
+  // mutex or an atomic.
+  serve::RequestQueue q(serve::AdmissionConfig{
+      .policy = serve::AdmissionPolicy::kBlock, .capacity = 8});
+  constexpr int kProducers = 4, kPerProducer = 40;
+  constexpr auto kTtl = 300ms;
+
+  std::atomic<bool> stop_thrash{false};
+  std::thread thrasher([&] {
+    size_t i = 0;
+    while (!stop_thrash.load(std::memory_order_acquire)) {
+      q.set_capacity(1 + (i++ % 8));  // repeatedly dips below the depth
+      std::this_thread::sleep_for(100us);
+    }
+  });
+  std::thread consumer([&] {  // slow: keeps the queue saturated
+    serve::Request r;
+    while (q.pop(r)) {
+      std::this_thread::sleep_for(300us);
+      r.promise.set_value(dummy_result());
+    }
+  });
+
+  std::vector<std::vector<std::future<sc::InferenceResult>>> futs(kProducers);
+  std::vector<std::thread> producers;
+  std::atomic<int64_t> worst_block_us{0};
+  for (int t = 0; t < kProducers; ++t)
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto before = std::chrono::steady_clock::now();
+        futs[t].push_back(
+            q.submit(tiny_input(), {.client_id = static_cast<uint64_t>(t),
+                                    .ttl = kTtl}));
+        const auto blocked =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - before)
+                .count();
+        int64_t cur = worst_block_us.load(std::memory_order_relaxed);
+        while (blocked > cur &&
+               !worst_block_us.compare_exchange_weak(
+                   cur, blocked, std::memory_order_relaxed)) {
+        }
+      }
+    });
+  for (auto& t : producers) t.join();
+  stop_thrash.store(true, std::memory_order_release);
+  thrasher.join();
+  q.close();
+  consumer.join();
+
+  // Liveness: the longest a submitter ever blocked is bounded by its own
+  // deadline (plus generous scheduling slack), not by the thrash pattern.
+  EXPECT_LT(worst_block_us.load(),
+            std::chrono::duration_cast<std::chrono::microseconds>(kTtl).count()
+                + 2000000)
+      << "a Block submitter was stranded past its deadline";
+  // Exactly-once settlement, only the two legal outcomes.
+  int64_t values = 0, admission_expired = 0;
+  for (auto& per : futs)
+    for (auto& f : per) switch (settle_kind(f)) {
+        case 0: ++values; break;
+        case 4: ++admission_expired; break;
+        default:
+          ADD_FAILURE() << "unexpected settlement under capacity thrash";
+      }
+  EXPECT_EQ(values + admission_expired,
+            static_cast<int64_t>(kProducers * kPerProducer));
+  EXPECT_GT(values, 0);
+}
+
 TEST(SloControl, CtorValidatesConfig) {
   telemetry::Registry reg;
   serve::SloConfig ok;
@@ -639,6 +763,70 @@ TEST(SloControl, SetCapacityIsALiveActuator) {
   EXPECT_EQ(settle_kind(f1), 0);
   EXPECT_EQ(settle_kind(f2), 0);
   EXPECT_EQ(settle_kind(f4), 0);
+}
+
+TEST(Routing, HashPinnedTenantFallsBackWhenItsShardDrainsToZeroWorkers) {
+  // Regression: splitmix64(client_id) % num_shards used to pin a tenant
+  // to its hash shard unconditionally — including a shard whose every
+  // worker slot had been retired mid-scale-down, stranding the tenant's
+  // requests in a queue nobody pops. The router must fall back to the
+  // least-loaded *live* shard the moment the pinned shard has no active
+  // worker.
+  SloRig rig(2);
+  sc::Channel link({.bandwidth_bps = 1e9});
+  serve::ServeConfig cfg;
+  cfg.batching = {.max_batch_size = 1, .max_wait_us = 0};
+  cfg.replicas_per_shard = 1;  // two shards, one worker each
+  cfg.sharding = serve::ShardingPolicy::kHashClient;
+  cfg.work_stealing = false;  // nobody rescues a stranded queue
+  serve::ScServer server({rig.models[0].get(), rig.models[1].get()}, link,
+                         sc::jetson_nano(), sc::rtx3090_server(), cfg);
+  ASSERT_EQ(server.num_shards(), 2u);
+
+  // Drain shard 0 to zero active workers (allowed below the autoscaler's
+  // floor — this is the fleet/chaos hook, not a policy decision).
+  ASSERT_TRUE(server.retire_replica(0));
+  EXPECT_FALSE(server.retire_replica(0)) << "no second worker to retire";
+
+  // Every tenant — including the ones that hash onto shard 0 — must be
+  // served, bitwise identical to a sequential reference.
+  SloRig ref_rig;
+  core::copy_model_state(*ref_rig.models[0], *rig.models[0]);
+  sc::Channel ref_ch({.bandwidth_bps = 1e9});
+  sc::ScDeployment ref(*ref_rig.models[0], ref_ch, sc::jetson_nano(),
+                       sc::rtx3090_server());
+  std::vector<Tensor> inputs;
+  std::vector<std::future<sc::InferenceResult>> futs;
+  for (uint64_t c = 0; c < 16; ++c) {
+    inputs.push_back(rig.input(900 + c));
+    futs.push_back(server.submit(inputs[c].clone(), {.client_id = c}));
+  }
+  for (size_t i = 0; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(20s), std::future_status::ready)
+        << "request " << i << " stranded on a dead shard";
+    const sc::InferenceResult got = futs[i].get();
+    const sc::InferenceResult want = ref.infer(inputs[i]);
+    ASSERT_EQ(got.logits.size(), want.logits.size());
+    for (size_t j = 0; j < want.logits.size(); ++j)
+      EXPECT_TRUE(got.logits[j].equals(want.logits[j]));
+  }
+  server.shutdown();
+  const serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 16);
+  EXPECT_EQ(s.failed, 0);
+
+  // And the rebuild hook restores the drained shard: the replica lands
+  // on shard 0 (fewest active workers).
+  SloRig rig2(2);
+  sc::Channel link2({.bandwidth_bps = 1e9});
+  serve::ScServer server2({rig2.models[0].get(), rig2.models[1].get()}, link2,
+                          sc::jetson_nano(), sc::rtx3090_server(), cfg);
+  ASSERT_TRUE(server2.retire_replica(0));
+  EXPECT_EQ(server2.add_replicas(1, &SloRig::mint), 1u);
+  EXPECT_EQ(server2.num_workers(), 2u);
+  auto f = server2.submit(rig2.input(950), {.client_id = 3});
+  ASSERT_EQ(f.wait_for(20s), std::future_status::ready);
+  server2.shutdown();
 }
 
 TEST(ServerSlo, ControllerReactsToViolationsEndToEnd) {
